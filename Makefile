@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test bench experiments report cover clean
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# One iteration of every benchmark (tables, figures, ablations).
+bench:
+	go test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate every table and figure at small scale (minutes: use
+# SCALE=full for the EXPERIMENTS.md headline numbers).
+SCALE ?= small
+experiments:
+	go run ./cmd/hbat-experiments -scale $(SCALE)
+
+report:
+	go run ./cmd/hbat-report -o report.html -scale $(SCALE)
+
+cover:
+	go test -cover ./...
+
+clean:
+	rm -f report.html

@@ -1,0 +1,44 @@
+package hbat
+
+import (
+	"io"
+
+	"hbat/internal/cpu"
+	"hbat/internal/harness"
+	"hbat/internal/model"
+)
+
+// ModelReport is the paper's Section 2 performance model fitted to a
+// measured run (see internal/model): the average translation latency
+// t_AT decomposed into shielding, port queueing, and miss components,
+// plus the inferred latency tolerance f_TOL of the core.
+type ModelReport = model.Report
+
+// Analyze runs the requested simulation and a four-ported-TLB baseline
+// of the same program, then fits the paper's Section 2 model: how much
+// translation latency the design exposes (t_AT), how much of it the
+// core tolerates (f_TOL), and the resulting time-per-instruction cost.
+func Analyze(o Options) (*ModelReport, error) {
+	spec, err := o.spec()
+	if err != nil {
+		return nil, err
+	}
+	dev := harness.Run(spec)
+	if dev.Err != nil {
+		return nil, dev.Err
+	}
+	baseSpec := spec
+	baseSpec.Design = "T4"
+	base := harness.Run(baseSpec)
+	if base.Err != nil {
+		return nil, base.Err
+	}
+	rep := model.Analyze(spec.Design, spec.Workload,
+		model.RunStats{CPU: base.Stats, TLB: base.TLB},
+		model.RunStats{CPU: dev.Stats, TLB: dev.TLB},
+		float64(cpu.DefaultConfig().TLBMissLatency))
+	return &rep, nil
+}
+
+// RenderAnalysis writes a fitted model report in the paper's notation.
+func RenderAnalysis(w io.Writer, rep *ModelReport) { rep.Render(w) }

@@ -1,0 +1,73 @@
+// Command hbat-experiments regenerates the tables and figures of the
+// paper's evaluation section (Table 2, Table 3, Figures 5-9).
+//
+// Usage:
+//
+//	hbat-experiments                 # everything, small scale
+//	hbat-experiments -only fig5      # one artifact
+//	hbat-experiments -scale full     # headline scale (minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hbat"
+)
+
+func main() {
+	var (
+		only   = flag.String("only", "", "run one artifact: table2, table3, fig5, fig6, fig7, fig8, fig9")
+		scale  = flag.String("scale", "small", "workload scale: test, small, or full")
+		par    = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		seed   = flag.Uint64("seed", 1, "seed for randomized structures")
+		quiet  = flag.Bool("q", false, "suppress progress output")
+		csvDir = flag.String("csv", "", "also write fig5/7/8/9 results as CSV files into this directory")
+	)
+	flag.Parse()
+
+	names := hbat.ExperimentNames
+	if *only != "" {
+		names = []string{*only}
+	}
+	for _, name := range names {
+		opts := hbat.ExperimentOptions{Scale: *scale, Parallelism: *par, Seed: *seed}
+		if !*quiet {
+			start := time.Now()
+			fmt.Fprintf(os.Stderr, "== %s (scale %s) ==\n", name, *scale)
+			opts.Progress = func(done, total int) {
+				if done == total || done%10 == 0 {
+					fmt.Fprintf(os.Stderr, "\r  %d/%d runs (%.0fs)", done, total, time.Since(start).Seconds())
+					if done == total {
+						fmt.Fprintln(os.Stderr)
+					}
+				}
+			}
+		}
+		if err := hbat.RunExperiment(name, opts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "hbat-experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if *csvDir != "" && strings.HasPrefix(name, "fig") && name != "fig6" {
+			path := filepath.Join(*csvDir, name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hbat-experiments:", err)
+				os.Exit(1)
+			}
+			csvOpts := opts
+			csvOpts.Progress = nil
+			if err := hbat.ExperimentCSV(name, csvOpts, f); err != nil {
+				fmt.Fprintln(os.Stderr, "hbat-experiments:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+}

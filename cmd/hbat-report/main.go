@@ -1,0 +1,63 @@
+// Command hbat-report regenerates the paper's evaluation and writes a
+// self-contained HTML report (inline SVG charts, no external assets).
+//
+// Usage:
+//
+//	hbat-report -o report.html [-scale small] [-par N] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hbat/internal/harness"
+	"hbat/internal/report"
+	"hbat/internal/workload"
+)
+
+func main() {
+	var (
+		out   = flag.String("o", "report.html", "output HTML file")
+		scale = flag.String("scale", "small", "workload scale: test, small, or full")
+		par   = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		seed  = flag.Uint64("seed", 1, "seed for randomized structures")
+	)
+	flag.Parse()
+
+	var sc workload.Scale
+	switch *scale {
+	case "test":
+		sc = workload.ScaleTest
+	case "small":
+		sc = workload.ScaleSmall
+	case "full":
+		sc = workload.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "hbat-report: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbat-report:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	start := time.Now()
+	opts := harness.Options{
+		Scale: sc, Parallelism: *par, Seed: *seed,
+		Progress: func(done, total int, _ *harness.RunResult) {
+			if done%20 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\r%d/%d runs (%.0fs)", done, total, time.Since(start).Seconds())
+			}
+		},
+	}
+	if err := report.Generate(f, opts, nil, time.Now()); err != nil {
+		fmt.Fprintln(os.Stderr, "\nhbat-report:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "\nwrote %s\n", *out)
+}

@@ -1,0 +1,183 @@
+// Command hbat-trace captures a workload's data-reference trace to a
+// compact binary file, prints a trace's summary, or replays a trace
+// through the fully-associative TLB models of Figure 6.
+//
+// Usage:
+//
+//	hbat-trace capture -workload compress -o compress.hbt [-scale small] [-max N]
+//	hbat-trace info    -i compress.hbt
+//	hbat-trace replay  -i compress.hbt [-sizes 4,8,16,32,64,128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hbat/internal/prog"
+	"hbat/internal/tlb"
+	"hbat/internal/trace"
+	"hbat/internal/workload"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hbat-trace: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseScale(s string) workload.Scale {
+	switch s {
+	case "test":
+		return workload.ScaleTest
+	case "", "small":
+		return workload.ScaleSmall
+	case "full":
+		return workload.ScaleFull
+	}
+	fatalf("unknown scale %q", s)
+	return 0
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fatalf("usage: hbat-trace capture|info|replay [flags]")
+	}
+	switch os.Args[1] {
+	case "capture":
+		capture(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		fatalf("unknown subcommand %q", os.Args[1])
+	}
+}
+
+func capture(args []string) {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	wl := fs.String("workload", "compress", "workload to trace")
+	out := fs.String("o", "", "output trace file (required)")
+	scale := fs.String("scale", "small", "workload scale")
+	pageSize := fs.Uint64("pagesize", 4096, "page size recorded in the header")
+	maxRefs := fs.Uint64("max", 0, "cap on captured references (0 = all)")
+	fewRegs := fs.Bool("fewregs", false, "build for 8 int / 8 fp registers")
+	fs.Parse(args)
+	if *out == "" {
+		fatalf("capture: -o is required")
+	}
+	w, err := workload.ByName(*wl)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	budget := prog.Budget32
+	if *fewRegs {
+		budget = prog.Budget8
+	}
+	p, err := w.Build(budget, parseScale(*scale))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	n, err := trace.Capture(p, *pageSize, f, *maxRefs)
+	if err != nil {
+		fatalf("capture: %v", err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("captured %d references of %s to %s", n, *wl, *out)
+	if st != nil && n > 0 {
+		fmt.Printf(" (%.2f bytes/ref)", float64(st.Size())/float64(n))
+	}
+	fmt.Println()
+}
+
+func openTrace(path string) *trace.Reader {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return r
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "", "trace file (required)")
+	fs.Parse(args)
+	if *in == "" {
+		fatalf("info: -i is required")
+	}
+	r := openTrace(*in)
+	hdr := r.Header()
+	var refs, writes uint64
+	pages := map[uint64]struct{}{}
+	bits := uint(0)
+	for ps := hdr.PageSize; ps > 1; ps >>= 1 {
+		bits++
+	}
+	if err := r.ForEach(func(rec trace.Record) error {
+		refs++
+		if rec.Write {
+			writes++
+		}
+		pages[rec.Addr>>bits] = struct{}{}
+		return nil
+	}); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("workload   %s\npage size  %d\nreferences %d (%d writes)\npages      %d (%.1f KB footprint)\n",
+		hdr.Workload, hdr.PageSize, refs, writes,
+		len(pages), float64(len(pages))*float64(hdr.PageSize)/1024)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "", "trace file (required)")
+	sizesArg := fs.String("sizes", "4,8,16,32,64,128", "comma-separated TLB sizes")
+	seed := fs.Uint64("seed", 1, "seed for random replacement")
+	fs.Parse(args)
+	if *in == "" {
+		fatalf("replay: -i is required")
+	}
+	var sizes []int
+	for _, s := range strings.Split(*sizesArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fatalf("bad size %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	r := openTrace(*in)
+	hdr := r.Header()
+	bits := uint(0)
+	for ps := hdr.PageSize; ps > 1; ps >>= 1 {
+		bits++
+	}
+	sims := make([]*tlb.MissRateSim, len(sizes))
+	for i, n := range sizes {
+		sims[i] = tlb.NewMissRateSim(n, tlb.ReplacementFor(n), *seed)
+	}
+	if err := r.ForEach(func(rec trace.Record) error {
+		vpn := rec.Addr >> bits
+		for _, s := range sims {
+			s.Ref(vpn)
+		}
+		return nil
+	}); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("trace %s (%s, %d-byte pages)\n", *in, hdr.Workload, hdr.PageSize)
+	fmt.Printf("%8s %12s %10s\n", "entries", "refs", "miss rate")
+	for i, n := range sizes {
+		fmt.Printf("%8d %12d %9.3f%%\n", n, sims[i].Refs, 100*sims[i].MissRate())
+	}
+}

@@ -1,0 +1,109 @@
+// Command hbat runs one workload on one address-translation design and
+// prints the run's statistics.
+//
+// Usage:
+//
+//	hbat [-workload compress] [-design T4] [-pagesize 4096] [-inorder]
+//	     [-fewregs] [-scale small] [-seed 1] [-maxinsts N]
+//	hbat -list
+//	hbat -dump-config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hbat"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "compress", "workload name (see -list)")
+		design   = flag.String("design", "T4", "translation design mnemonic (see -list)")
+		pageSize = flag.Uint64("pagesize", 4096, "virtual-memory page size in bytes")
+		inOrder  = flag.Bool("inorder", false, "use the in-order issue model")
+		fewRegs  = flag.Bool("fewregs", false, "compile the workload for 8 int / 8 fp registers")
+		scale    = flag.String("scale", "small", "workload scale: test, small, or full")
+		seed     = flag.Uint64("seed", 1, "seed for randomized structures")
+		maxInsts = flag.Uint64("maxinsts", 0, "cap on committed instructions (0 = to completion)")
+		list     = flag.Bool("list", false, "list workloads and designs, then exit")
+		dumpCfg  = flag.Bool("dump-config", false, "print the Table 1 baseline configuration, then exit")
+		analyze  = flag.Bool("analyze", false, "fit the paper's Section 2 performance model (runs the design and a T4 baseline)")
+		disasm   = flag.Bool("disasm", false, "print the workload's generated code instead of simulating")
+	)
+	flag.Parse()
+
+	if *dumpCfg {
+		fmt.Println(hbat.BaselineConfig())
+		return
+	}
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range hbat.Workloads() {
+			model, _ := hbat.WorkloadDescription(w)
+			fmt.Printf("  %-12s %s\n", w, model)
+		}
+		fmt.Println("designs:")
+		for _, d := range hbat.Designs() {
+			desc, _ := hbat.DesignDescription(d)
+			fmt.Printf("  %-6s %s\n", d, desc)
+		}
+		return
+	}
+
+	opts := hbat.Options{
+		Workload:     *wl,
+		Design:       *design,
+		PageSize:     *pageSize,
+		InOrder:      *inOrder,
+		FewRegisters: *fewRegs,
+		Scale:        *scale,
+		Seed:         *seed,
+		MaxInsts:     *maxInsts,
+	}
+	if *disasm {
+		if err := hbat.Disassemble(*wl, *scale, *fewRegs, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "hbat:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *analyze {
+		rep, err := hbat.Analyze(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbat:", err)
+			os.Exit(1)
+		}
+		hbat.RenderAnalysis(os.Stdout, rep)
+		return
+	}
+
+	res, err := hbat.Simulate(hbat.Options{
+		Workload:     *wl,
+		Design:       *design,
+		PageSize:     *pageSize,
+		InOrder:      *inOrder,
+		FewRegisters: *fewRegs,
+		Scale:        *scale,
+		Seed:         *seed,
+		MaxInsts:     *maxInsts,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbat:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload       %s\n", res.Workload)
+	fmt.Printf("design         %s\n", res.Design)
+	fmt.Printf("cycles         %d\n", res.Cycles)
+	fmt.Printf("instructions   %d (%d loads, %d stores)\n", res.Instructions, res.Loads, res.Stores)
+	fmt.Printf("IPC            %.3f committed, %.3f issued\n", res.IPC, res.IssueIPC)
+	fmt.Printf("mem refs/cycle %.3f\n", res.MemPerCycle)
+	fmt.Printf("branch pred    %.1f%%\n", 100*res.BranchPredRate)
+	fmt.Printf("TLB            %d lookups, %d misses (%d walks), %d no-port retries\n",
+		res.TLBLookups, res.TLBMisses, res.TLBWalks, res.NoPortRetries)
+	fmt.Printf("shielding      %d shield hits, %d piggybacks, %d status write-throughs\n",
+		res.ShieldHits, res.Piggybacks, res.StatusWrites)
+	fmt.Printf("stalls         fetch %d, dispatch: tlb-miss %d, rob-full %d, lsq-full %d (cycles)\n",
+		res.FetchStallCycles, res.DispatchTLBStalls, res.DispatchROBFull, res.DispatchLSQFull)
+}

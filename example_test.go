@@ -1,0 +1,54 @@
+package hbat_test
+
+import (
+	"fmt"
+
+	"hbat"
+)
+
+// The smallest end-to-end use: run one benchmark on one translation
+// design and look at what the translation hardware did.
+func ExampleSimulate() {
+	res, err := hbat.Simulate(hbat.Options{
+		Workload: "tomcatv",
+		Design:   "M8",
+		Scale:    "test",
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Workload, "on", res.Design)
+	fmt.Println("every request translated:", res.TLBLookups > 0)
+	fmt.Println("most requests shielded by the L1 TLB:",
+		res.ShieldHits > res.TLBLookups/2)
+	// Output:
+	// tomcatv on M8
+	// every request translated: true
+	// most requests shielded by the L1 TLB: true
+}
+
+// Designs and workloads are discoverable at runtime.
+func ExampleDesigns() {
+	ds := hbat.Designs()
+	fmt.Println(len(ds), "designs, first:", ds[0], "last:", ds[len(ds)-1])
+	// Output:
+	// 13 designs, first: T4 last: I4/PB
+}
+
+// Comparing two designs on the same program is the library's bread and
+// butter; cycle counts are deterministic for a given seed.
+func ExampleSimulate_comparison() {
+	ipc := map[string]float64{}
+	for _, d := range []string{"T4", "T1"} {
+		res, err := hbat.Simulate(hbat.Options{
+			Workload: "espresso", Design: d, Scale: "test",
+		})
+		if err != nil {
+			panic(err)
+		}
+		ipc[d] = res.IPC
+	}
+	fmt.Println("one port costs performance:", ipc["T1"] < ipc["T4"])
+	// Output:
+	// one port costs performance: true
+}

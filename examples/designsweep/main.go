@@ -1,0 +1,59 @@
+// Designsweep: run every Table 2 design on one workload and print a
+// miniature of the paper's Figure 5, including per-design shielding and
+// piggybacking behaviour. Pick the workload and scale on the command
+// line:
+//
+//	go run ./examples/designsweep [workload] [scale]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"hbat"
+)
+
+func main() {
+	wl := "espresso" // the highest-bandwidth workload: stresses ports hardest
+	scale := "small"
+	if len(os.Args) > 1 {
+		wl = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		scale = os.Args[2]
+	}
+	model, err := hbat.WorkloadDescription(wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s — %s\n\n", wl, model)
+
+	var t4 float64
+	type row struct {
+		design string
+		res    *hbat.Result
+	}
+	var rows []row
+	for _, d := range hbat.Designs() {
+		res, err := hbat.Simulate(hbat.Options{Workload: wl, Design: d, Scale: scale})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d == "T4" {
+			t4 = res.IPC
+		}
+		rows = append(rows, row{d, res})
+	}
+
+	fmt.Printf("%-7s %7s %7s %9s %9s %9s %9s\n",
+		"design", "IPC", "vs T4", "walks", "shielded", "piggyback", "rejected")
+	for _, r := range rows {
+		rel := r.res.IPC / t4
+		fmt.Printf("%-7s %7.3f %6.1f%% %9d %9d %9d %9d  |%s\n",
+			r.design, r.res.IPC, 100*rel,
+			r.res.TLBWalks, r.res.ShieldHits, r.res.Piggybacks, r.res.NoPortRetries,
+			strings.Repeat("#", int(rel*40+0.5)))
+	}
+}

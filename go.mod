@@ -1,0 +1,3 @@
+module hbat
+
+go 1.22

@@ -1,0 +1,378 @@
+// Package hbat is the public API of the high-bandwidth address
+// translation study: a reproduction of Austin & Sohi, "High-Bandwidth
+// Address Translation for Multiple-Issue Processors" (ISCA 1996).
+//
+// The package wraps an execution-driven cycle simulator of the paper's
+// baseline 8-way superscalar machine (Table 1), thirteen address-
+// translation designs (Table 2: multi-ported, interleaved, multi-level,
+// piggybacked, and pretranslation TLBs), and synthetic versions of the
+// ten benchmarks of Table 3. Simulate runs one workload on one design;
+// the Figure*/Table* functions regenerate the paper's evaluation
+// artifacts. Lower-level building blocks (the TLB devices themselves,
+// the pipelines, the program builder) live in internal/ packages and
+// are exercised through this facade.
+package hbat
+
+import (
+	"fmt"
+	"io"
+
+	"hbat/internal/cpu"
+	"hbat/internal/harness"
+	"hbat/internal/prog"
+	"hbat/internal/tlb"
+	"hbat/internal/workload"
+)
+
+// Options selects what Simulate runs.
+type Options struct {
+	// Workload is one of Workloads() (default "compress").
+	Workload string
+	// Design is one of Designs() (default "T4").
+	Design string
+	// PageSize is the virtual-memory page size (default 4096; the
+	// paper evaluates 4096 and 8192).
+	PageSize uint64
+	// InOrder selects the in-order issue model (default out-of-order).
+	InOrder bool
+	// FewRegisters recompiles the workload for 8 int / 8 fp registers
+	// (the paper's Figure 9 configuration).
+	FewRegisters bool
+	// VirtualCache switches to a virtually-indexed data cache, where
+	// translation is needed only on cache misses (the alternative the
+	// paper's Section 3 discusses and sets aside).
+	VirtualCache bool
+	// ContextSwitchEvery, when non-zero, flushes all translation state
+	// every N committed instructions (multiprogramming pressure).
+	ContextSwitchEvery uint64
+	// Scale is "test", "small", or "full" (default "small").
+	Scale string
+	// Seed drives every randomized structure (default 1).
+	Seed uint64
+	// MaxInsts optionally caps committed instructions (0 = run to
+	// completion).
+	MaxInsts uint64
+}
+
+// Result reports one simulation.
+type Result struct {
+	Design   string
+	Workload string
+
+	Cycles       int64
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+
+	IPC            float64
+	IssueIPC       float64
+	MemPerCycle    float64
+	BranchPredRate float64
+
+	// Address-translation behaviour.
+	TLBLookups    uint64
+	TLBMisses     uint64
+	TLBWalks      uint64
+	Piggybacks    uint64
+	ShieldHits    uint64
+	NoPortRetries uint64
+	StatusWrites  uint64
+
+	// Stall breakdown (cycles).
+	FetchStallCycles  int64
+	DispatchTLBStalls int64
+	DispatchROBFull   int64
+	DispatchLSQFull   int64
+}
+
+func parseScale(s string) (workload.Scale, error) {
+	switch s {
+	case "", "small":
+		return workload.ScaleSmall, nil
+	case "test":
+		return workload.ScaleTest, nil
+	case "full":
+		return workload.ScaleFull, nil
+	}
+	return 0, fmt.Errorf("hbat: unknown scale %q (test, small, full)", s)
+}
+
+func (o Options) spec() (harness.RunSpec, error) {
+	scale, err := parseScale(o.Scale)
+	if err != nil {
+		return harness.RunSpec{}, err
+	}
+	spec := harness.RunSpec{
+		Workload: o.Workload,
+		Design:   o.Design,
+		Budget:   prog.Budget32,
+		Scale:    scale,
+		PageSize: o.PageSize,
+		InOrder:  o.InOrder,
+		Seed:     o.Seed,
+		MaxInsts: o.MaxInsts,
+	}
+	if spec.Workload == "" {
+		spec.Workload = "compress"
+	}
+	if spec.Design == "" {
+		spec.Design = "T4"
+	}
+	if spec.PageSize == 0 {
+		spec.PageSize = 4096
+	}
+	if o.FewRegisters {
+		spec.Budget = prog.Budget8
+	}
+	spec.VirtualCache = o.VirtualCache
+	spec.ContextSwitchEvery = o.ContextSwitchEvery
+	return spec, nil
+}
+
+// Simulate runs one workload on one translation design and returns the
+// run's statistics.
+func Simulate(o Options) (*Result, error) {
+	spec, err := o.spec()
+	if err != nil {
+		return nil, err
+	}
+	r := harness.Run(spec)
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	return &Result{
+		Design:         spec.Design,
+		Workload:       spec.Workload,
+		Cycles:         r.Stats.Cycles,
+		Instructions:   r.Stats.Committed,
+		Loads:          r.Stats.CommittedLoads,
+		Stores:         r.Stats.CommittedStores,
+		IPC:            r.Stats.IPC(),
+		IssueIPC:       r.Stats.IssueIPC(),
+		MemPerCycle:    r.Stats.MemPerCycle(),
+		BranchPredRate: r.Stats.BranchRate(),
+		TLBLookups:     r.TLB.Lookups,
+		TLBMisses:      r.TLB.Misses,
+		TLBWalks:       r.TLB.Fills,
+		Piggybacks:     r.TLB.Piggybacks,
+		ShieldHits:     r.TLB.ShieldHits,
+		NoPortRetries:  r.TLB.NoPorts,
+		StatusWrites:   r.TLB.StatusWrites,
+
+		FetchStallCycles:  r.Stats.FetchStallCycles,
+		DispatchTLBStalls: r.Stats.DispatchTLBStalls,
+		DispatchROBFull:   r.Stats.DispatchROBFull,
+		DispatchLSQFull:   r.Stats.DispatchLSQFull,
+	}, nil
+}
+
+// Designs returns the Table 2 design mnemonics in figure order.
+func Designs() []string {
+	out := make([]string, len(tlb.DesignOrder))
+	copy(out, tlb.DesignOrder)
+	return out
+}
+
+// DesignDescription returns the Table 2 description of a mnemonic.
+func DesignDescription(mnemonic string) (string, error) {
+	s, err := tlb.LookupSpec(mnemonic)
+	if err != nil {
+		return "", err
+	}
+	return s.Description, nil
+}
+
+// Workloads returns the benchmark names in Table 3 order.
+func Workloads() []string { return workload.Names() }
+
+// WorkloadDescription returns what the named synthetic workload models.
+func WorkloadDescription(name string) (string, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return "", err
+	}
+	return w.Model, nil
+}
+
+// ExperimentOptions configures a full-grid experiment.
+type ExperimentOptions struct {
+	// Scale is "test", "small", or "full" (default "small").
+	Scale string
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Seed drives randomized structures (default 1).
+	Seed uint64
+	// Workloads/Designs restrict the grid (nil = everything).
+	Workloads []string
+	Designs   []string
+	// Progress, when non-nil, is called after each completed run.
+	Progress func(done, total int)
+}
+
+func (o ExperimentOptions) harness() (harness.Options, error) {
+	scale, err := parseScale(o.Scale)
+	if err != nil {
+		return harness.Options{}, err
+	}
+	ho := harness.Options{
+		Scale:       scale,
+		Parallelism: o.Parallelism,
+		Seed:        o.Seed,
+		Workloads:   o.Workloads,
+		Designs:     o.Designs,
+	}
+	if o.Progress != nil {
+		p := o.Progress
+		ho.Progress = func(done, total int, _ *harness.RunResult) { p(done, total) }
+	}
+	return ho, nil
+}
+
+// Experiment names accepted by RunExperiment. "model" is this
+// repository's addition: the paper's Section 2 analytical model fitted
+// to every design (DESIGN.md's experiment index).
+var ExperimentNames = []string{"table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "model"}
+
+// RunExperiment regenerates one of the paper's evaluation artifacts and
+// writes a text report to w. See ExperimentNames.
+func RunExperiment(name string, o ExperimentOptions, w io.Writer) error {
+	ho, err := o.harness()
+	if err != nil {
+		return err
+	}
+	switch name {
+	case "table2":
+		harness.RenderTable2(w)
+		return nil
+	case "table3":
+		rows, err := harness.Table3(ho)
+		if err != nil {
+			return err
+		}
+		harness.RenderTable3(w, rows)
+		return nil
+	case "fig5", "fig7", "fig8", "fig9":
+		var f *harness.FigureResult
+		switch name {
+		case "fig5":
+			f, err = harness.Figure5(ho)
+		case "fig7":
+			f, err = harness.Figure7(ho)
+		case "fig8":
+			f, err = harness.Figure8(ho)
+		case "fig9":
+			f, err = harness.Figure9(ho)
+		}
+		if err != nil {
+			return err
+		}
+		harness.RenderFigure(w, f)
+		return nil
+	case "fig6":
+		f, err := harness.Figure6(ho, nil)
+		if err != nil {
+			return err
+		}
+		harness.RenderFigure6(w, f)
+		return nil
+	case "model":
+		rows, err := harness.ModelStudy(ho)
+		if err != nil {
+			return err
+		}
+		harness.RenderModelStudy(w, rows)
+		return nil
+	}
+	return fmt.Errorf("hbat: unknown experiment %q (known: %v)", name, ExperimentNames)
+}
+
+// ExperimentCSV runs one of the design-grid experiments (fig5, fig7,
+// fig8, fig9) and writes machine-readable CSV for external plotting.
+func ExperimentCSV(name string, o ExperimentOptions, w io.Writer) error {
+	ho, err := o.harness()
+	if err != nil {
+		return err
+	}
+	var f *harnessFigure
+	switch name {
+	case "fig5":
+		f0, err := harness.Figure5(ho)
+		if err != nil {
+			return err
+		}
+		f = f0
+	case "fig7":
+		f0, err := harness.Figure7(ho)
+		if err != nil {
+			return err
+		}
+		f = f0
+	case "fig8":
+		f0, err := harness.Figure8(ho)
+		if err != nil {
+			return err
+		}
+		f = f0
+	case "fig9":
+		f0, err := harness.Figure9(ho)
+		if err != nil {
+			return err
+		}
+		f = f0
+	default:
+		return fmt.Errorf("hbat: no CSV form for experiment %q", name)
+	}
+	harness.FigureCSV(w, f)
+	return nil
+}
+
+// harnessFigure aliases the harness result for the facade's signature.
+type harnessFigure = harness.FigureResult
+
+// Disassemble writes a listing of the named workload's generated code
+// (labels, spill code, data segments) under the given register budget —
+// development tooling for inspecting what the program builder emits.
+func Disassemble(workloadName, scale string, fewRegisters bool, w io.Writer) error {
+	sc, err := parseScale(scale)
+	if err != nil {
+		return err
+	}
+	wl, err := workload.ByName(workloadName)
+	if err != nil {
+		return err
+	}
+	budget := prog.Budget32
+	if fewRegisters {
+		budget = prog.Budget8
+	}
+	p, err := wl.Build(budget, sc)
+	if err != nil {
+		return err
+	}
+	p.Disassemble(w)
+	return nil
+}
+
+// BaselineConfig returns a rendering of the Table 1 baseline machine.
+func BaselineConfig() string {
+	c := cpu.DefaultConfig()
+	return fmt.Sprintf(`Baseline simulation model (Table 1):
+  fetch:      %d insts/cycle from one I-cache block, <=%d predictions (collapsing buffer)
+  issue:      %d ops/cycle, %d-entry ROB, %d-entry load/store queue
+  commit:     %d ops/cycle
+  FUs:        %d int ALU, %d load/store, %d FP add, 1 int MULT/DIV, 1 FP MULT/DIV
+  latencies:  int %d, load %d, int mult %d, int div %d, fp add %d, fp mult %d, fp div %d
+  predictor:  GAp, %d-bit global history, %d-entry PHT, %d-cycle mispredict penalty
+  I-cache:    %dk %d-way, %dB blocks, %d-cycle miss
+  D-cache:    %dk %d-way, %dB blocks, %d-cycle miss, %d ports, non-blocking, write-back
+  VM:         %d-byte pages, %d-cycle TLB miss latency (after earlier insts complete)`,
+		c.FetchWidth, c.MaxBranchesPerFetch,
+		c.IssueWidth, c.ROBSize, c.LSQSize,
+		c.CommitWidth,
+		c.IntALUs, c.LdStUnits, c.FPAdders,
+		c.IntALULat, c.LoadLat, c.IntMultLat, c.IntDivLat, c.FPAddLat, c.FPMultLat, c.FPDivLat,
+		c.Branch.HistoryBits, c.Branch.PHTEntries, c.Branch.MispredictPenalty,
+		c.ICache.SizeBytes>>10, c.ICache.Assoc, c.ICache.BlockBytes, c.ICache.MissLatency,
+		c.DCache.SizeBytes>>10, c.DCache.Assoc, c.DCache.BlockBytes, c.DCache.MissLatency, c.DCache.Ports,
+		c.PageSize, c.TLBMissLatency)
+}

@@ -1,0 +1,203 @@
+package hbat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimulateDefaults(t *testing.T) {
+	res, err := Simulate(Options{Scale: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "compress" || res.Design != "T4" {
+		t.Fatalf("defaults: %s/%s", res.Workload, res.Design)
+	}
+	if res.IPC <= 0 || res.Instructions == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(Options{Workload: "nope", Scale: "test"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := Simulate(Options{Design: "nope", Scale: "test"}); err == nil {
+		t.Error("unknown design accepted")
+	}
+	if _, err := Simulate(Options{Scale: "nope"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestSimulateVariants(t *testing.T) {
+	base, err := Simulate(Options{Workload: "perl", Design: "T1", Scale: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inorder, err := Simulate(Options{Workload: "perl", Design: "T1", Scale: "test", InOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inorder.IPC >= base.IPC {
+		t.Errorf("in-order IPC %.3f not below OoO %.3f", inorder.IPC, base.IPC)
+	}
+	few, err := Simulate(Options{Workload: "perl", Design: "T1", Scale: "test", FewRegisters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if few.Loads+few.Stores <= base.Loads+base.Stores {
+		t.Error("few-registers build did not raise memory traffic")
+	}
+	big, err := Simulate(Options{Workload: "perl", Design: "M4", Scale: "test", PageSize: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.TLBWalks == 0 && base.TLBWalks > 0 {
+		t.Log("8k pages eliminated all walks (fine)")
+	}
+	capped, err := Simulate(Options{Workload: "perl", Scale: "test", MaxInsts: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Instructions < 500 || capped.Instructions > 600 {
+		t.Errorf("MaxInsts cap: committed %d", capped.Instructions)
+	}
+}
+
+func TestCatalogs(t *testing.T) {
+	if len(Designs()) != 13 {
+		t.Fatalf("%d designs", len(Designs()))
+	}
+	if len(Workloads()) != 10 {
+		t.Fatalf("%d workloads", len(Workloads()))
+	}
+	for _, d := range Designs() {
+		if desc, err := DesignDescription(d); err != nil || desc == "" {
+			t.Errorf("DesignDescription(%s): %q, %v", d, desc, err)
+		}
+	}
+	for _, w := range Workloads() {
+		if m, err := WorkloadDescription(w); err != nil || m == "" {
+			t.Errorf("WorkloadDescription(%s): %q, %v", w, m, err)
+		}
+	}
+	if _, err := DesignDescription("zz"); err == nil {
+		t.Error("unknown design described")
+	}
+}
+
+func TestRunExperimentTable2AndErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := RunExperiment("table2", ExperimentOptions{}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "piggyback") {
+		t.Error("table2 output incomplete")
+	}
+	if err := RunExperiment("fig99", ExperimentOptions{}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := RunExperiment("fig5", ExperimentOptions{Scale: "bogus"}, &sb); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestRunExperimentSmallGrid(t *testing.T) {
+	var sb strings.Builder
+	opts := ExperimentOptions{
+		Scale:     "test",
+		Workloads: []string{"espresso", "perl"},
+		Designs:   []string{"T4", "M8", "PB2"},
+	}
+	progressed := false
+	opts.Progress = func(done, total int) { progressed = true }
+	if err := RunExperiment("fig5", opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !progressed {
+		t.Error("no progress callbacks")
+	}
+	if !strings.Contains(sb.String(), "RTW-avg") {
+		t.Error("figure output incomplete")
+	}
+	sb.Reset()
+	if err := RunExperiment("table3", opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "espresso") {
+		t.Error("table3 output incomplete")
+	}
+	sb.Reset()
+	if err := RunExperiment("fig6", ExperimentOptions{Scale: "test", Workloads: []string{"perl"}}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "128") {
+		t.Error("fig6 output incomplete")
+	}
+}
+
+func TestBaselineConfigRendering(t *testing.T) {
+	cfg := BaselineConfig()
+	for _, want := range []string{"64-entry ROB", "32-entry load/store", "GAp", "30-cycle TLB miss"} {
+		if !strings.Contains(cfg, want) {
+			t.Errorf("BaselineConfig missing %q:\n%s", want, cfg)
+		}
+	}
+}
+
+func TestAnalyzeFacade(t *testing.T) {
+	rep, err := Analyze(Options{Workload: "xlisp", Design: "M8", Scale: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Design != "M8" || rep.Workload != "xlisp" {
+		t.Fatalf("report identity: %s/%s", rep.Design, rep.Workload)
+	}
+	if rep.FShielded <= 0 {
+		t.Errorf("f_shielded = %f", rep.FShielded)
+	}
+	var sb strings.Builder
+	RenderAnalysis(&sb, rep)
+	if !strings.Contains(sb.String(), "f_TOL") {
+		t.Error("analysis render incomplete")
+	}
+}
+
+func TestDisassembleFacade(t *testing.T) {
+	var sb strings.Builder
+	if err := Disassemble("perl", "test", false, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "program perl") {
+		t.Error("disassembly incomplete")
+	}
+	if err := Disassemble("nope", "test", false, &sb); err == nil {
+		t.Error("unknown workload disassembled")
+	}
+}
+
+func TestExtensionOptions(t *testing.T) {
+	base, err := Simulate(Options{Workload: "espresso", Design: "T1", Scale: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := Simulate(Options{Workload: "espresso", Design: "T1", Scale: "test", VirtualCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.IPC <= base.IPC {
+		t.Errorf("virtual cache IPC %.3f not above physical %.3f on T1", vc.IPC, base.IPC)
+	}
+	cs, err := Simulate(Options{Workload: "xlisp", Design: "M8", Scale: "test", ContextSwitchEvery: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Simulate(Options{Workload: "xlisp", Design: "M8", Scale: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.TLBWalks <= plain.TLBWalks {
+		t.Error("context switching did not add walks")
+	}
+}

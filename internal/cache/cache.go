@@ -1,0 +1,192 @@
+// Package cache implements the set-associative caches of the baseline
+// machine (Table 1): 32 KB two-way instruction and data caches with
+// 32-byte blocks and a 6-cycle miss latency. The data cache is
+// four-ported, write-back, write-allocate, and non-blocking: a miss
+// delays only the access that incurred it.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	Name        string
+	SizeBytes   int
+	Assoc       int
+	BlockBytes  int
+	MissLatency int64
+	Ports       int // accesses per cycle (0 = unlimited)
+	WriteBack   bool
+}
+
+// DefaultICache is the baseline instruction cache (Table 1).
+func DefaultICache() Config {
+	return Config{Name: "il1", SizeBytes: 32 << 10, Assoc: 2, BlockBytes: 32, MissLatency: 6, Ports: 1}
+}
+
+// DefaultDCache is the baseline data cache (Table 1).
+func DefaultDCache() Config {
+	return Config{Name: "dl1", SizeBytes: 32 << 10, Assoc: 2, BlockBytes: 32, MissLatency: 6, Ports: 4, WriteBack: true}
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+	PortStalls uint64
+}
+
+// MissRate returns misses per access.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  int64 // LRU
+}
+
+// Cache is a set-associative, LRU-replaced cache indexed by physical
+// address. It models timing only; data values live in the simulator's
+// physical memory.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setMask   uint64
+	blockBits uint
+	stats     Stats
+
+	cycle     int64
+	portsUsed int
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) *Cache {
+	if cfg.BlockBytes <= 0 || cfg.BlockBytes&(cfg.BlockBytes-1) != 0 {
+		panic(fmt.Sprintf("cache %s: block size %d not a power of two", cfg.Name, cfg.BlockBytes))
+	}
+	if cfg.Assoc <= 0 {
+		panic(fmt.Sprintf("cache %s: invalid associativity %d", cfg.Name, cfg.Assoc))
+	}
+	nSets := cfg.SizeBytes / (cfg.BlockBytes * cfg.Assoc)
+	if nSets <= 0 || nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, nSets))
+	}
+	blockBits := uint(0)
+	for b := cfg.BlockBytes; b > 1; b >>= 1 {
+		blockBits++
+	}
+	sets := make([][]line, nSets)
+	backing := make([]line, nSets*cfg.Assoc)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		setMask:   uint64(nSets - 1),
+		blockBits: blockBits,
+	}
+}
+
+// BlockBytes returns the cache's block size.
+func (c *Cache) BlockBytes() int { return c.cfg.BlockBytes }
+
+// BeginCycle resets the per-cycle port counter.
+func (c *Cache) BeginCycle(now int64) {
+	c.cycle = now
+	c.portsUsed = 0
+}
+
+// PortAvailable reports whether another access can start this cycle.
+func (c *Cache) PortAvailable() bool {
+	return c.cfg.Ports == 0 || c.portsUsed < c.cfg.Ports
+}
+
+// Access performs one timed access to physical address paddr at cycle
+// now, claiming a port. It returns the additional latency beyond the
+// pipeline's nominal access time: 0 on a hit, MissLatency on a miss.
+// ok is false when no port was available (the caller must retry).
+func (c *Cache) Access(paddr uint64, write bool, now int64) (extra int64, ok bool) {
+	if !c.PortAvailable() {
+		c.stats.PortStalls++
+		return 0, false
+	}
+	c.portsUsed++
+	return c.access(paddr, write, now), true
+}
+
+// AccessUnported performs a timed access without port accounting (used
+// by the fetch stage, which arbitrates its own single port).
+func (c *Cache) AccessUnported(paddr uint64, write bool, now int64) int64 {
+	return c.access(paddr, write, now)
+}
+
+func (c *Cache) access(paddr uint64, write bool, now int64) int64 {
+	c.stats.Accesses++
+	block := paddr >> c.blockBits
+	set := c.sets[block&c.setMask]
+	tag := block >> 0 // full block address as tag: simple and exact
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].used = now
+			if write {
+				set[i].dirty = true
+			}
+			c.stats.Hits++
+			return 0
+		}
+	}
+	c.stats.Misses++
+
+	// Allocate (write-allocate on stores, standard allocate on loads).
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty && c.cfg.WriteBack {
+		c.stats.Writebacks++
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: write && c.cfg.WriteBack, used: now}
+	return c.cfg.MissLatency
+}
+
+// Probe reports whether paddr currently hits, without side effects.
+func (c *Cache) Probe(paddr uint64) bool {
+	block := paddr >> c.blockBits
+	set := c.sets[block&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line (counting writebacks of dirty lines).
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid && c.sets[s][i].dirty && c.cfg.WriteBack {
+				c.stats.Writebacks++
+			}
+			c.sets[s][i] = line{}
+		}
+	}
+}
+
+// Stats returns the cache's counters.
+func (c *Cache) Stats() *Stats { return &c.stats }

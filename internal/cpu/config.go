@@ -1,0 +1,221 @@
+// Package cpu implements the execution-driven cycle-timing simulator of
+// the paper's baseline machine (Table 1): an 8-way superscalar with
+// either out-of-order issue (64-entry re-order buffer, 32-entry
+// load/store queue, renaming, speculative execution down predicted
+// paths with squash recovery) or in-order issue (no renaming, stall on
+// register hazards, out-of-order completion). Data-memory address
+// translation goes through a pluggable tlb.Device, which is how each of
+// the paper's thirteen designs is evaluated.
+package cpu
+
+import (
+	"hbat/internal/bpred"
+	"hbat/internal/cache"
+)
+
+// Config parameterizes a machine. DefaultConfig reproduces Table 1.
+type Config struct {
+	// Issue model.
+	InOrder     bool
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	ROBSize     int
+	LSQSize     int
+	FetchQueue  int
+
+	// Functional units (counts of fully pipelined units).
+	IntALUs   int
+	LdStUnits int
+	FPAdders  int
+	// Latencies (total cycles; MULT/DIV units are single instances,
+	// divides are unpipelined).
+	IntALULat  int64
+	LoadLat    int64 // total load latency on all-hit path
+	IntMultLat int64
+	IntDivLat  int64
+	FPAddLat   int64
+	FPMultLat  int64
+	FPDivLat   int64
+
+	// Control prediction.
+	Branch bpred.Config
+	// MaxBranchesPerFetch is the collapsing-buffer variant's prediction
+	// budget per cycle (Section 4.1: two predictions per cycle within
+	// the same instruction cache block).
+	MaxBranchesPerFetch int
+
+	// Memory hierarchy.
+	ICache cache.Config
+	DCache cache.Config
+
+	// Virtual memory.
+	PageSize       uint64
+	TLBMissLatency int64 // fixed walk latency after earlier instructions complete
+
+	// Instruction-fetch translation. The paper scopes fetch translation
+	// out ("well served by a single-ported instruction TLB or a small
+	// micro-TLB over a unified TLB", Section 1) and the default model
+	// treats it as free. Setting ModelITLB true adds a single-ported
+	// micro-ITLB of ITLBEntries entries (LRU): a miss stalls fetch for
+	// ITLBRefillLatency cycles (the unified-TLB refill path), letting
+	// experiments validate the paper's scoping claim.
+	ModelITLB         bool
+	ITLBEntries       int
+	ITLBRefillLatency int64
+	// UnifiedTLB routes micro-ITLB refills through the *data*
+	// translation device (the CBJ92-style "micro-TLB over a unified
+	// instruction and data TLB" the paper mentions): refills then
+	// compete with data requests for the device's ports, letting
+	// experiments measure the interference the paper's scoping assumed
+	// negligible. Requires ModelITLB.
+	UnifiedTLB bool
+
+	// VirtualCache switches the data cache to a virtually-indexed,
+	// virtually-tagged organization (Section 3's "road not taken"):
+	// cache hits complete without any translation, and the translation
+	// device is consulted only on cache misses, when physical storage
+	// must be addressed. The model grants protection checking for free
+	// (the paper notes a real design would still need a TLB-like
+	// protection structure with high bandwidth — this switch measures
+	// only the translation-bandwidth relief). Synonyms do not arise in
+	// the single-address-space workloads.
+	VirtualCache bool
+
+	// FlushTLBEvery, when non-zero, flushes the whole translation
+	// device every N committed instructions, modeling the context-
+	// switch pressure of a multiprogrammed system (one of the workload
+	// trends the paper's introduction motivates the designs with).
+	FlushTLBEvery uint64
+
+	// Run limits.
+	MaxInsts  uint64 // committed-instruction budget (0 = until Halt)
+	MaxCycles int64  // safety limit (0 = none)
+
+	// Seed drives every randomized structure for reproducibility.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's baseline machine (Table 1): 8-way
+// out-of-order issue, 64-entry ROB, 32-entry load/store queue, GAp
+// predictor, 32 KB 2-way L1 caches with 6-cycle miss latency, 4 KB
+// pages, and a 30-cycle TLB miss latency.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  8,
+		IssueWidth:  8,
+		CommitWidth: 8,
+		ROBSize:     64,
+		LSQSize:     32,
+		FetchQueue:  16,
+
+		IntALUs:   8,
+		LdStUnits: 4,
+		FPAdders:  4,
+
+		IntALULat:  1,
+		LoadLat:    2,
+		IntMultLat: 3,
+		IntDivLat:  12,
+		FPAddLat:   2,
+		FPMultLat:  4,
+		FPDivLat:   12,
+
+		Branch:              bpred.DefaultConfig(),
+		MaxBranchesPerFetch: 2,
+
+		ICache: cache.DefaultICache(),
+		DCache: cache.DefaultDCache(),
+
+		PageSize:       4096,
+		TLBMissLatency: 30,
+
+		ITLBEntries:       4,
+		ITLBRefillLatency: 2,
+
+		Seed: 1,
+	}
+}
+
+// Stats aggregates a run's results.
+type Stats struct {
+	Cycles int64
+
+	// Committed (non-speculative) operation counts.
+	Committed         uint64
+	CommittedLoads    uint64
+	CommittedStores   uint64
+	CommittedBranches uint64
+
+	// Issued operation counts (including wrong-path work).
+	Issued    uint64
+	IssuedMem uint64
+
+	Fetched  uint64
+	Squashed uint64
+
+	// Branch prediction (direction, conditional branches only).
+	BranchLookups uint64
+	BranchCorrect uint64
+
+	// Address-translation behaviour seen from the core.
+	TLBWalks          uint64 // page-table walks performed
+	TLBWalkCycles     int64  // cycles spent with a walk in progress at the ROB head
+	DispatchTLBStalls int64  // cycles dispatch was stalled by an outstanding TLB miss
+	TLBRetries        uint64 // lookups rejected for want of a port (retried)
+
+	// Instruction-fetch translation (only when Config.ModelITLB).
+	ITLBAccesses      uint64
+	ITLBMisses        uint64
+	ITLBRefillRejects uint64 // unified-TLB refills rejected for want of a port
+
+	// ContextFlushes counts FlushTLBEvery-induced full TLB flushes.
+	ContextFlushes uint64
+
+	// Stall breakdown (cycles; categories can overlap with useful work
+	// elsewhere in the machine — they describe one stage each).
+	FetchStallCycles    int64 // front end blocked (redirect penalty, I-cache or ITLB miss)
+	DispatchROBFull     int64 // dispatch blocked on a full re-order buffer
+	DispatchLSQFull     int64 // dispatch blocked on a full load/store queue
+	DispatchEmptyCycles int64 // dispatch starved by the front end
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// IssueIPC returns issued operations per cycle (speculative included).
+func (s *Stats) IssueIPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Issued) / float64(s.Cycles)
+}
+
+// MemPerCycle returns committed loads+stores per cycle.
+func (s *Stats) MemPerCycle() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.CommittedLoads+s.CommittedStores) / float64(s.Cycles)
+}
+
+// IssuedMemPerCycle returns issued loads+stores per cycle.
+func (s *Stats) IssuedMemPerCycle() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.IssuedMem) / float64(s.Cycles)
+}
+
+// BranchRate returns the conditional-branch prediction rate.
+func (s *Stats) BranchRate() float64 {
+	if s.BranchLookups == 0 {
+		return 0
+	}
+	return float64(s.BranchCorrect) / float64(s.BranchLookups)
+}

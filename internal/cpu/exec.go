@@ -1,0 +1,705 @@
+package cpu
+
+import (
+	"fmt"
+
+	"hbat/internal/isa"
+	"hbat/internal/tlb"
+	"hbat/internal/vm"
+)
+
+// operandReady reports whether source operand i of e is available this
+// cycle, reading its value into the operand record when it is.
+func (m *Machine) operandReady(e *robEntry, i int) bool {
+	op := &e.srcs[i]
+	if op.producer < 0 {
+		return true
+	}
+	p := m.rob.at(int(op.producer))
+	if !p.valid || p.seq != op.seq {
+		// The producer has committed (its slot may have been
+		// recycled); the architected register file holds its value.
+		// No younger writer can have overwritten it: writers
+		// younger than this instruction commit after it.
+		op.val = m.regs[op.reg]
+		op.producer = -1
+		return true
+	}
+	d := &p.dests[op.slot]
+	if d.readyAt > m.cycle {
+		return false
+	}
+	op.val = d.val
+	op.producer = -1
+	return true
+}
+
+// issueOperandsReady reports whether the operands needed to ISSUE e are
+// available. Stores issue on their address operands alone (Table 1:
+// store addresses become known to the load/store queue as soon as they
+// can be computed); the data value is captured later, before commit.
+func (m *Machine) issueOperandsReady(e *robEntry) bool {
+	first := 0
+	if e.isStore {
+		first = 1 // srcs[0] is the store value
+	}
+	ready := true
+	for i := first; i < e.nsrc; i++ {
+		if !m.operandReady(e, i) {
+			ready = false
+		}
+	}
+	return ready
+}
+
+// wawHazard implements the in-order model's "no renaming" stall: an
+// instruction may not issue while an older, incomplete instruction
+// writes one of its destination registers.
+func (m *Machine) wawHazard(idx int, e *robEntry) bool {
+	hazard := false
+	m.rob.forEach(func(j int, o *robEntry) bool {
+		if j == idx {
+			return false
+		}
+		if o.state == sDone && m.cycle >= o.doneAt {
+			return true
+		}
+		for a := 0; a < o.ndest; a++ {
+			if o.dests[a].readyAt <= m.cycle {
+				continue
+			}
+			for b := 0; b < e.ndest; b++ {
+				if o.dests[a].reg == e.dests[b].reg && o.dests[a].reg != isa.Zero {
+					hazard = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return hazard
+}
+
+// olderStoreAddrsKnown implements the load/store queue's ordering rule
+// (Table 1): a load may execute only when every prior store address has
+// been computed.
+func (m *Machine) olderStoreAddrsKnown(idx int) bool {
+	if m.nStoreNoAddr == 0 {
+		return true
+	}
+	known := true
+	m.rob.forEach(func(j int, o *robEntry) bool {
+		if j == idx {
+			return false
+		}
+		if o.isStore && !o.addrReady {
+			known = false
+			return false
+		}
+		return true
+	})
+	return known
+}
+
+// acquireFU claims a functional unit for e's class this cycle,
+// modeling Table 1's pool: 8 integer ALUs, 4 load/store units, 4 FP
+// adders, and single integer and FP multiply/divide units whose divides
+// are unpipelined (issue interval = latency).
+func (m *Machine) acquireFU(e *robEntry) (lat int64, ok bool) {
+	switch e.inst.Class() {
+	case isa.ClassIntALU, isa.ClassBranch, isa.ClassJump:
+		if m.intALUUsed >= m.cfg.IntALUs {
+			return 0, false
+		}
+		m.intALUUsed++
+		return m.cfg.IntALULat, true
+	case isa.ClassIntMult:
+		if m.intMDFree > m.cycle {
+			return 0, false
+		}
+		m.intMDFree = m.cycle + 1
+		return m.cfg.IntMultLat, true
+	case isa.ClassIntDiv:
+		if m.intMDFree > m.cycle {
+			return 0, false
+		}
+		m.intMDFree = m.cycle + m.cfg.IntDivLat
+		return m.cfg.IntDivLat, true
+	case isa.ClassFPAdd:
+		if m.fpAddUsed >= m.cfg.FPAdders {
+			return 0, false
+		}
+		m.fpAddUsed++
+		return m.cfg.FPAddLat, true
+	case isa.ClassFPMult:
+		if m.fpMDFree > m.cycle {
+			return 0, false
+		}
+		m.fpMDFree = m.cycle + 1
+		return m.cfg.FPMultLat, true
+	case isa.ClassFPDiv:
+		if m.fpMDFree > m.cycle {
+			return 0, false
+		}
+		m.fpMDFree = m.cycle + m.cfg.FPDivLat
+		return m.cfg.FPDivLat, true
+	case isa.ClassLoad, isa.ClassStore:
+		if m.ldstUsed >= m.cfg.LdStUnits {
+			return 0, false
+		}
+		m.ldstUsed++
+		return m.cfg.LoadLat, true
+	}
+	return m.cfg.IntALULat, true
+}
+
+// issue selects up to IssueWidth ready instructions. The out-of-order
+// model scans the whole ROB oldest-first; the in-order model stops at
+// the first instruction that cannot issue (stall-on-hazard, Table 1).
+func (m *Machine) issue() {
+	if m.nWaiting == 0 {
+		return
+	}
+	issued := 0
+	seenWaiting := 0
+	m.rob.forEach(func(idx int, e *robEntry) bool {
+		if issued >= m.cfg.IssueWidth || seenWaiting == m.nWaiting {
+			return false
+		}
+		if e.state != sWaiting {
+			return true
+		}
+		seenWaiting++
+		canIssue := m.issueOperandsReady(e)
+		if canIssue && m.cfg.InOrder && m.wawHazard(idx, e) {
+			canIssue = false
+		}
+		if canIssue && e.isLoad && !m.olderStoreAddrsKnown(idx) {
+			canIssue = false
+		}
+		var lat int64
+		if canIssue {
+			var ok bool
+			lat, ok = m.acquireFU(e)
+			canIssue = ok
+		}
+		if !canIssue {
+			// In-order issue stalls the pipeline at the first hazard.
+			return !m.cfg.InOrder
+		}
+		issued++
+		seenWaiting-- // the entry leaves sWaiting
+		m.nWaiting--
+		m.stats.Issued++
+		m.execute(idx, e, lat)
+		return true
+	})
+}
+
+// execute computes an issued instruction's results (execution-driven:
+// actual values, even on wrong paths) and schedules its completion.
+func (m *Machine) execute(idx int, e *robEntry, lat int64) {
+	in := e.inst
+	switch in.Class() {
+	case isa.ClassBranch:
+		rs, rt := e.srcs[0].val, uint64(0)
+		if e.nsrc > 1 {
+			rt = e.srcs[1].val
+		}
+		taken := isa.BranchTaken(in, rs, rt)
+		e.nextPC = e.pc + isa.InstBytes
+		if taken {
+			e.nextPC = in.Target
+		}
+		e.actualTaken(taken)
+		e.state = sExecuting
+		m.nExec++
+		e.doneAt = m.cycle + lat
+
+	case isa.ClassJump:
+		switch in.Op {
+		case isa.J:
+			e.nextPC = in.Target
+		case isa.Jal:
+			e.nextPC = in.Target
+			e.dests[0].val = e.pc + isa.InstBytes
+			e.dests[0].readyAt = m.cycle + lat
+		case isa.Jr:
+			e.nextPC = e.srcs[0].val
+		case isa.Jalr:
+			e.nextPC = e.srcs[0].val
+			e.dests[0].val = e.pc + isa.InstBytes
+			e.dests[0].readyAt = m.cycle + lat
+		}
+		e.state = sExecuting
+		m.nExec++
+		e.doneAt = m.cycle + lat
+
+	case isa.ClassLoad:
+		base := e.srcs[0].val
+		idxv := uint64(0)
+		if in.Mode == isa.AMReg {
+			idxv = e.srcs[1].val
+		}
+		addr, newBase, upd := isa.EffAddr(in, base, idxv)
+		e.effAddr = addr
+		e.addrReady = true
+		if upd {
+			// The base update is ready at address generation.
+			e.dests[1].val = newBase
+			e.dests[1].readyAt = m.cycle + 1
+		}
+		e.state = sMemReq
+		m.nMem++
+		e.memReqAt = m.cycle + 1
+		m.stats.IssuedMem++
+
+	case isa.ClassStore:
+		base := e.srcs[1].val
+		idxv := uint64(0)
+		if in.Mode == isa.AMReg {
+			idxv = e.srcs[2].val
+		}
+		addr, newBase, upd := isa.EffAddr(in, base, idxv)
+		e.effAddr = addr
+		e.addrReady = true
+		m.nStoreNoAddr--
+		if upd {
+			e.dests[0].val = newBase
+			e.dests[0].readyAt = m.cycle + 1
+		}
+		e.state = sMemReq
+		m.nMem++
+		e.memReqAt = m.cycle + 1
+		m.stats.IssuedMem++
+
+	default: // integer and FP computation
+		rs, rt := uint64(0), uint64(0)
+		if e.nsrc > 0 {
+			rs = e.srcs[0].val
+		}
+		if e.nsrc > 1 {
+			rt = e.srcs[1].val
+		}
+		e.dests[0].val = isa.ALUEval(in, rs, rt, e.pc)
+		e.dests[0].readyAt = m.cycle + lat
+		e.state = sExecuting
+		m.nExec++
+		e.doneAt = m.cycle + lat
+	}
+}
+
+// memExecute advances memory operations past address generation: the
+// TLB request (in instruction age order, so port arbitration favors
+// the earliest issued instruction), page-table walks, store-forwarding,
+// and data-cache access.
+func (m *Machine) memExecute() {
+	if m.nMem == 0 {
+		return
+	}
+	m.rob.forEach(func(idx int, e *robEntry) bool {
+		switch e.state {
+		case sMemWalk:
+			m.advanceWalk(idx, e)
+		case sMemReq:
+			if m.cycle >= e.memReqAt {
+				m.memRequest(idx, e)
+			}
+		case sStoreData:
+			if m.operandReady(e, 0) {
+				e.storeVal = e.srcs[0].val
+				e.state = sDone
+				m.nMem--
+				if e.doneAt < m.cycle {
+					e.doneAt = m.cycle
+				}
+			}
+		}
+		return m.err == nil
+	})
+}
+
+// advanceWalk handles an entry whose translation missed the TLB. Per
+// Section 4.1, the walk begins only when the instruction is no longer
+// speculative (it has reached the ROB head, i.e. all earlier-issued
+// instructions have completed) and takes a fixed TLBMissLatency.
+func (m *Machine) advanceWalk(idx int, e *robEntry) {
+	if !e.walking {
+		if m.rob.headEntry() == e {
+			e.walking = true
+			e.walkDone = m.cycle + m.cfg.TLBMissLatency
+		}
+		return
+	}
+	m.stats.TLBWalkCycles++
+	if m.cycle < e.walkDone {
+		return
+	}
+	vpn := e.effAddr >> m.pageBits
+	if _, err := m.DTLB.Fill(vpn, m.cycle); err != nil {
+		m.err = fmt.Errorf("cpu: pc 0x%x %s addr 0x%x: %w", e.pc, e.inst, e.effAddr, err)
+		return
+	}
+	e.walking = false
+	e.state = sMemReq
+	e.memReqAt = m.cycle + 1
+	// Younger instructions that missed on the same page were waiting on
+	// this walk; send them back to the TLB rather than walking again.
+	m.rob.forEach(func(_ int, o *robEntry) bool {
+		if o.state == sMemWalk && !o.walking && o.effAddr>>m.pageBits == vpn {
+			o.state = sMemReq
+			o.memReqAt = m.cycle + 1
+		}
+		return true
+	})
+}
+
+func offHiOf(in *isa.Inst) uint8 {
+	if in.IsLoad() && in.Mode == isa.AMImm {
+		return uint8(uint16(in.Imm)>>12) & 0xF
+	}
+	return 0
+}
+
+// memRequest performs one attempt at translating and accessing memory
+// for a load or store whose address is generated.
+func (m *Machine) memRequest(idx int, e *robEntry) {
+	if m.cfg.VirtualCache {
+		m.memRequestVC(idx, e)
+		return
+	}
+	req := tlb.Request{
+		VPN:   e.effAddr >> m.pageBits,
+		Write: e.isStore,
+		Base:  e.inst.Rs,
+		OffHi: offHiOf(e.inst),
+		Load:  e.isLoad,
+	}
+	res := m.DTLB.Lookup(req, m.cycle)
+	switch res.Outcome {
+	case tlb.NoPort:
+		m.stats.TLBRetries++
+		return
+	case tlb.Miss:
+		e.state = sMemWalk
+		e.walking = false
+		if !e.missCharged() {
+			e.setMissCharged()
+			m.tlbMissOutstanding++
+		}
+		return
+	}
+
+	pte := res.PTE
+	need := vm.PermRead
+	if e.isStore {
+		need = vm.PermWrite
+	}
+	if pte.Perm&need != need {
+		// Protection fault: fatal if this instruction commits;
+		// wrong-path faults are squashed harmlessly.
+		e.setFaulted()
+		e.state = sDone
+		m.nMem--
+		e.doneAt = m.cycle + 1
+		return
+	}
+	e.paddr = pte.PFN<<m.pageBits | (e.effAddr & m.pageMask)
+
+	if e.isStore {
+		// Translated: the address is in the store queue. The store
+		// completes once its data value arrives; the data-cache write
+		// happens at commit.
+		e.doneAt = m.cycle + 1 + res.Extra
+		if m.operandReady(e, 0) {
+			e.storeVal = e.srcs[0].val
+			e.state = sDone
+			m.nMem--
+		} else {
+			e.state = sStoreData
+		}
+		return
+	}
+
+	// Load: try store-forwarding from the youngest older overlapping
+	// store, else access the data cache.
+	fwdVal, fwdOK, mustWait := m.forwardFromStore(idx, e)
+	if mustWait {
+		// Partially overlapping older store: wait for it to commit.
+		// Re-requesting next cycle re-translates, which is what a
+		// replayed access does.
+		return
+	}
+	var extraCache int64
+	if !fwdOK {
+		var ok bool
+		extraCache, ok = m.dcache.Access(e.paddr, false, m.cycle)
+		if !ok {
+			return // no data-cache port; retry next cycle
+		}
+		fwdVal = m.readMem(e.paddr, e.memWidth)
+	}
+	e.dests[0].val = isa.LoadExtend(e.inst.Op, fwdVal)
+	done := m.cycle + 1 + res.Extra + extraCache
+	e.dests[0].readyAt = done
+	e.state = sDone
+	m.nMem--
+	e.doneAt = done
+}
+
+// memRequestVC is the virtual-address-cache variant of memRequest:
+// the cache is probed by virtual address first, and the translation
+// device is involved only when the access misses the cache (or the
+// line was warmed by a wrong-path access to a page with no mapping).
+func (m *Machine) memRequestVC(idx int, e *robEntry) {
+	vpn := e.effAddr >> m.pageBits
+
+	// Store-forwarding is entirely virtual: a forwarded load needs no
+	// translation at all in this organization.
+	if e.isLoad {
+		fwdVal, fwdOK, mustWait := m.forwardFromStore(idx, e)
+		if mustWait {
+			return
+		}
+		if fwdOK {
+			e.dests[0].val = isa.LoadExtend(e.inst.Op, fwdVal)
+			done := m.cycle + 1
+			e.dests[0].readyAt = done
+			e.state = sDone
+			m.nMem--
+			e.doneAt = done
+			return
+		}
+	}
+
+	if m.dcache.Probe(e.effAddr) {
+		if pte, ok := m.AS.Probe(vpn); ok {
+			need := vm.PermRead
+			if e.isStore {
+				need = vm.PermWrite
+			}
+			if pte.Perm&need != need {
+				e.setFaulted()
+				e.state = sDone
+				m.nMem--
+				e.doneAt = m.cycle + 1
+				return
+			}
+			e.paddr = pte.PFN<<m.pageBits | (e.effAddr & m.pageMask)
+			if e.isStore {
+				e.doneAt = m.cycle + 1
+				if m.operandReady(e, 0) {
+					e.storeVal = e.srcs[0].val
+					e.state = sDone
+					m.nMem--
+				} else {
+					e.state = sStoreData
+				}
+				return
+			}
+			extraC, ok := m.dcache.Access(e.effAddr, false, m.cycle)
+			if !ok {
+				return // no port; retry
+			}
+			done := m.cycle + 1 + extraC
+			e.dests[0].val = isa.LoadExtend(e.inst.Op, m.readMem(e.paddr, e.memWidth))
+			e.dests[0].readyAt = done
+			e.state = sDone
+			m.nMem--
+			e.doneAt = done
+			return
+		}
+		// A wrong-path access warmed this line before its page was ever
+		// mapped; fall through to the translating path so a correct-path
+		// access takes the walk.
+	}
+
+	// Cache miss: physical storage must be addressed, so the
+	// translation device is consulted (with its usual port and walk
+	// behaviour) — the only time this organization pays for translation.
+	req := tlb.Request{
+		VPN:   vpn,
+		Write: e.isStore,
+		Base:  e.inst.Rs,
+		OffHi: offHiOf(e.inst),
+		Load:  e.isLoad,
+	}
+	res := m.DTLB.Lookup(req, m.cycle)
+	switch res.Outcome {
+	case tlb.NoPort:
+		m.stats.TLBRetries++
+		return
+	case tlb.Miss:
+		e.state = sMemWalk
+		e.walking = false
+		if !e.missCharged() {
+			e.setMissCharged()
+			m.tlbMissOutstanding++
+		}
+		return
+	}
+	pte := res.PTE
+	need := vm.PermRead
+	if e.isStore {
+		need = vm.PermWrite
+	}
+	if pte.Perm&need != need {
+		e.setFaulted()
+		e.state = sDone
+		m.nMem--
+		e.doneAt = m.cycle + 1
+		return
+	}
+	e.paddr = pte.PFN<<m.pageBits | (e.effAddr & m.pageMask)
+	if e.isStore {
+		e.doneAt = m.cycle + 1 + res.Extra
+		if m.operandReady(e, 0) {
+			e.storeVal = e.srcs[0].val
+			e.state = sDone
+			m.nMem--
+		} else {
+			e.state = sStoreData
+		}
+		return
+	}
+	extraC, ok := m.dcache.Access(e.effAddr, false, m.cycle)
+	if !ok {
+		return
+	}
+	done := m.cycle + 1 + res.Extra + extraC
+	e.dests[0].val = isa.LoadExtend(e.inst.Op, m.readMem(e.paddr, e.memWidth))
+	e.dests[0].readyAt = done
+	e.state = sDone
+	m.nMem--
+	e.doneAt = done
+}
+
+// forwardFromStore searches older in-flight stores for one covering
+// this load. Exact address+width matches forward the raw value;
+// partial overlaps force the load to wait (mustWait).
+func (m *Machine) forwardFromStore(idx int, e *robEntry) (val uint64, ok, mustWait bool) {
+	lo, hi := e.effAddr, e.effAddr+uint64(e.memWidth)
+	m.rob.forEach(func(j int, o *robEntry) bool {
+		if j == idx {
+			return false
+		}
+		if !o.isStore || !o.addrReady {
+			return true
+		}
+		slo, shi := o.effAddr, o.effAddr+uint64(o.memWidth)
+		if hi <= slo || shi <= lo {
+			return true
+		}
+		if slo == lo && o.memWidth == e.memWidth && o.state == sDone {
+			val, ok, mustWait = o.storeVal, true, false
+		} else {
+			// Partial overlap, or the store's data isn't ready yet.
+			val, ok, mustWait = 0, false, true
+		}
+		return true // keep scanning: the youngest older match wins
+	})
+	return val, ok, mustWait
+}
+
+// complete finishes executing instructions whose latency has elapsed
+// and resolves control flow, triggering misprediction recovery.
+func (m *Machine) complete() {
+	if m.nExec == 0 {
+		return
+	}
+	recovered := false
+	m.rob.forEach(func(idx int, e *robEntry) bool {
+		if e.state == sExecuting && m.cycle >= e.doneAt {
+			e.state = sDone
+			m.nExec--
+			if e.isCtrl && !e.resolved {
+				e.resolved = true
+				m.resolveControl(idx, e)
+				if e.nextPC != e.predNextPC {
+					m.recover(idx, e)
+					recovered = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	_ = recovered
+}
+
+// resolveControl trains the predictor with the actual outcome.
+func (m *Machine) resolveControl(idx int, e *robEntry) {
+	in := e.inst
+	if in.IsCondBranch() {
+		taken := e.takenActual()
+		correct := m.pred.Resolve(e.pc, e.predTaken, taken, e.ghrSnap)
+		m.stats.BranchLookups++
+		if correct {
+			m.stats.BranchCorrect++
+		}
+		if taken {
+			m.pred.UpdateTarget(e.pc, e.nextPC)
+		}
+		return
+	}
+	if in.Op == isa.Jr || in.Op == isa.Jalr {
+		// Indirect jumps count against the prediction rate: their
+		// target comes from the BTB and is frequently wrong for
+		// interpreter-style dispatch.
+		m.stats.BranchLookups++
+		if e.nextPC == e.predNextPC {
+			m.stats.BranchCorrect++
+		}
+		m.pred.UpdateTarget(e.pc, e.nextPC)
+	}
+}
+
+// recover squashes everything younger than the mispredicted control
+// instruction, rebuilds the rename map and queue occupancy from the
+// surviving entries, and redirects fetch with the misprediction
+// penalty.
+func (m *Machine) recover(idx int, e *robEntry) {
+	n := m.rob.squashAfter(idx)
+	m.stats.Squashed += uint64(n)
+
+	for r := range m.rename {
+		m.rename[r] = -1
+	}
+	m.lsqCount = 0
+	m.tlbMissOutstanding = 0
+	m.nWaiting, m.nExec, m.nMem, m.nStoreNoAddr = 0, 0, 0, 0
+	m.rob.forEach(func(i int, o *robEntry) bool {
+		if o.isStore && !o.addrReady {
+			m.nStoreNoAddr++
+		}
+		switch o.state {
+		case sWaiting:
+			m.nWaiting++
+		case sExecuting:
+			m.nExec++
+		case sMemReq, sMemWalk, sStoreData:
+			m.nMem++
+		}
+		for s := 0; s < o.ndest; s++ {
+			if o.dests[s].reg != isa.Zero {
+				m.rename[o.dests[s].reg] = int32(i)
+				m.renameSlot[o.dests[s].reg] = int8(s)
+			}
+		}
+		if o.inst != nil && o.inst.IsMem() {
+			m.lsqCount++
+		}
+		if o.missCharged() {
+			m.tlbMissOutstanding++
+		}
+		return true
+	})
+
+	m.flushFetchQ()
+	m.haltPending = false
+	m.fetchPC = e.nextPC
+	stall := m.cycle + m.pred.MispredictPenalty() - 1
+	if stall > m.fetchStallUntil {
+		m.fetchStallUntil = stall
+	}
+}

@@ -1,0 +1,222 @@
+package cpu
+
+import (
+	"fmt"
+	"testing"
+
+	"hbat/internal/emu"
+	"hbat/internal/isa"
+	"hbat/internal/prog"
+)
+
+// randProgRNG is a deterministic generator for the differential fuzz
+// test below.
+type randProgRNG uint64
+
+func (r *randProgRNG) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = randProgRNG(x)
+	return x
+}
+
+func (r *randProgRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// genRandomProgram builds a random but well-formed program: arithmetic
+// over a handful of registers, loads and stores confined to a private
+// buffer, forward (data-dependent) branches, and post-increment walks
+// that stay in bounds. Every generated program halts.
+func genRandomProgram(seed uint64, nInsts int) (*prog.Program, error) {
+	r := randProgRNG(seed | 1)
+	b := prog.NewBuilder(fmt.Sprintf("fuzz%d", seed))
+	const bufWords = 512
+	b.Alloc("buf", bufWords*8, 8)
+
+	base := b.IVar("base")
+	walk := b.IVar("walk")
+	var regs [6]isa.Reg
+	for i := range regs {
+		regs[i] = b.IVar(fmt.Sprintf("r%d", i))
+	}
+	b.La(base, "buf")
+	b.La(walk, "buf")
+	for i := range regs {
+		b.Li(regs[i], int64(r.intn(1000)))
+	}
+
+	pick := func() isa.Reg { return regs[r.intn(len(regs))] }
+	label := 0
+	pendingLabel := -1
+	walkBudget := 0
+	loopCounter := b.IVar("loopctr")
+	inLoop := false
+	loopLabel := ""
+
+	for i := 0; i < nInsts; i++ {
+		if pendingLabel >= 0 && r.intn(4) == 0 {
+			b.Label(fmt.Sprintf("skip%d", pendingLabel))
+			pendingLabel = -1
+		}
+		// Occasionally open a bounded backward loop (counted, so the
+		// program always terminates); close it a few instructions later.
+		if !inLoop && pendingLabel < 0 && r.intn(24) == 0 {
+			loopLabel = fmt.Sprintf("loop%d", label)
+			label++
+			b.Li(loopCounter, int64(2+r.intn(6)))
+			b.Label(loopLabel)
+			inLoop = true
+		} else if inLoop && r.intn(6) == 0 {
+			b.Addi(loopCounter, loopCounter, -1)
+			b.Bgtz(loopCounter, loopLabel)
+			inLoop = false
+		}
+		switch r.intn(12) {
+		case 0:
+			b.Add(pick(), pick(), pick())
+		case 1:
+			b.Sub(pick(), pick(), pick())
+		case 2:
+			b.Xor(pick(), pick(), pick())
+		case 3:
+			b.Addi(pick(), pick(), int32(r.intn(2000)-1000))
+		case 4:
+			b.Sll(pick(), pick(), int32(r.intn(8)))
+		case 5:
+			b.Mult(pick(), pick(), pick())
+		case 6:
+			b.Ld(pick(), base, int32(r.intn(bufWords))*8)
+		case 7:
+			b.Sd(pick(), base, int32(r.intn(bufWords))*8)
+		case 8:
+			// Bounded post-increment walk: reset the pointer when the
+			// budget runs out so it never leaves the buffer.
+			if walkBudget == 0 {
+				b.La(walk, "buf")
+				walkBudget = bufWords / 2
+			}
+			if r.intn(2) == 0 {
+				b.LdPost(pick(), walk, 8)
+			} else {
+				b.SdPost(pick(), walk, 8)
+			}
+			walkBudget--
+		case 9:
+			b.LwX(pick(), base, regAnd(b, &r, pick(), bufWords))
+		case 10:
+			b.Div(pick(), pick(), pick())
+		case 11:
+			// Forward data-dependent branch over the next few
+			// instructions (exercises prediction and squash).
+			if pendingLabel < 0 {
+				b.Bgtz(pick(), fmt.Sprintf("skip%d", label))
+				pendingLabel = label
+				label++
+			} else {
+				b.Addi(pick(), pick(), 1)
+			}
+		}
+	}
+	if inLoop {
+		b.Addi(loopCounter, loopCounter, -1)
+		b.Bgtz(loopCounter, loopLabel)
+	}
+	if pendingLabel >= 0 {
+		b.Label(fmt.Sprintf("skip%d", pendingLabel))
+	}
+	// Make the final state observable: store every register.
+	b.Alloc("final", uint64(8*len(regs)), 8)
+	out := b.IVar("out")
+	b.La(out, "final")
+	for i, reg := range regs {
+		b.Sd(reg, out, int32(8*i))
+	}
+	b.Halt()
+	return b.Finalize(prog.Budget32)
+}
+
+// regAnd emits a masked index: t = reg & mask (word-aligned, in range).
+func regAnd(b *prog.Builder, r *randProgRNG, src isa.Reg, bufWords int) isa.Reg {
+	t := b.IVar("idxTmp")
+	b.Andi(t, src, int32(bufWords-1)*8)
+	b.Andi(t, t, ^7)
+	return t
+}
+
+// TestRandomProgramsDifferential generates random programs and checks
+// that the out-of-order pipeline (on several TLB designs) and the
+// in-order pipeline retire exactly the functional emulator's state:
+// same instruction counts, same registers, same memory. This is the
+// net that catches forwarding, squash, renaming, and device bugs the
+// directed tests miss.
+func TestRandomProgramsDifferential(t *testing.T) {
+	designs := []string{"T4", "T1", "M4", "P8", "I4/PB"}
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for s := 0; s < seeds; s++ {
+		s := s
+		t.Run(fmt.Sprintf("seed%d", s), func(t *testing.T) {
+			t.Parallel()
+			p, err := genRandomProgram(uint64(s)*2654435761+17, 150)
+			if err != nil {
+				t.Fatalf("gen: %v", err)
+			}
+			ref, err := emu.New(p, 4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Run(10_000_000); err != nil {
+				t.Fatalf("emu: %v", err)
+			}
+			want := make([]byte, 4096+64)
+			if err := ref.ReadVirt(prog.DataBase, want); err != nil {
+				t.Fatal(err)
+			}
+
+			check := func(name string, m *Machine) {
+				if err := m.Run(); err != nil {
+					t.Fatalf("%s: %v\n%s", name, err, m.DebugHead())
+				}
+				if m.Stats().Committed != ref.InstCount {
+					t.Errorf("%s: committed %d, emu %d", name, m.Stats().Committed, ref.InstCount)
+				}
+				got := make([]byte, len(want))
+				if err := m.ReadVirt(prog.DataBase, got); err != nil {
+					t.Fatal(err)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("%s: memory differs at +%d (%#x vs %#x)", name, i, got[i], want[i])
+						return
+					}
+				}
+			}
+
+			design := designs[s%len(designs)]
+			m, err := NewWithDesign(p, DefaultConfig(), design)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(design, m)
+
+			cfg := DefaultConfig()
+			cfg.InOrder = true
+			mi, err := NewWithDesign(p, cfg, design)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(design+"/inorder", mi)
+
+			cfg = DefaultConfig()
+			cfg.VirtualCache = true
+			mv, err := NewWithDesign(p, cfg, design)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(design+"/vcache", mv)
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package cpu
+
+import (
+	"testing"
+
+	"hbat/internal/prog"
+	"hbat/internal/workload"
+)
+
+// TestMicroITLBValidatesPaperScoping reproduces the paper's Section 1
+// claim: instruction-fetch translation is well served by a tiny
+// single-ported micro-TLB, because fetch touches one page per cycle and
+// code has strong page locality. With even a 2-entry ITLB the slowdown
+// versus free fetch translation must be marginal.
+func TestMicroITLBValidatesPaperScoping(t *testing.T) {
+	w, err := workload.ByName("gcc") // largest, most irregular code footprint
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Build(prog.Budget32, workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := NewWithDesign(p, DefaultConfig(), "T4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, entries := range []int{2, 4} {
+		cfg := DefaultConfig()
+		cfg.ModelITLB = true
+		cfg.ITLBEntries = entries
+		m, err := NewWithDesign(p, cfg, "T4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if m.Stats().Committed != base.Stats().Committed {
+			t.Fatalf("ITLB model changed architecture: %d vs %d insts",
+				m.Stats().Committed, base.Stats().Committed)
+		}
+		if m.Stats().ITLBAccesses == 0 {
+			t.Fatal("ITLB never consulted")
+		}
+		missRate := float64(m.Stats().ITLBMisses) / float64(m.Stats().ITLBAccesses)
+		if missRate > 0.02 {
+			t.Errorf("%d-entry ITLB miss rate %.4f, expected near zero", entries, missRate)
+		}
+		slowdown := float64(m.Stats().Cycles)/float64(base.Stats().Cycles) - 1
+		if slowdown > 0.03 {
+			t.Errorf("%d-entry ITLB slowed the machine %.1f%%, expected marginal", entries, 100*slowdown)
+		}
+		t.Logf("%d-entry ITLB: miss rate %.5f, slowdown %.2f%%", entries, missRate, 100*slowdown)
+	}
+}
+
+// TestMicroITLBSingleEntryThrashes: with a single entry, taken branches
+// crossing page boundaries force refills, so misses must be visible.
+func TestMicroITLBSingleEntry(t *testing.T) {
+	w, _ := workload.ByName("gcc")
+	p, err := w.Build(prog.Budget32, workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ModelITLB = true
+	cfg.ITLBEntries = 1
+	m, err := NewWithDesign(p, cfg, "T4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().ITLBMisses == 0 {
+		t.Skip("code fits one page at this scale")
+	}
+}

@@ -1,0 +1,317 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"hbat/internal/bpred"
+	"hbat/internal/cache"
+	"hbat/internal/isa"
+	"hbat/internal/mem"
+	"hbat/internal/prog"
+	"hbat/internal/tlb"
+	"hbat/internal/vm"
+)
+
+// ErrDeadlock reports that the pipeline made no forward progress for an
+// implausibly long time — always a simulator or workload bug.
+var ErrDeadlock = errors.New("cpu: no commit progress (deadlock)")
+
+type fetchedInst struct {
+	pc         uint64
+	inst       *isa.Inst
+	predNextPC uint64
+	predTaken  bool
+	isCond     bool
+	ghrSnap    uint64
+}
+
+// Machine is one simulated processor bound to a program and a TLB
+// design. Create it with New, run it with Run, and read Stats/TLB
+// statistics afterwards.
+type Machine struct {
+	cfg  Config
+	prog *prog.Program
+
+	// Architected and memory state.
+	AS   *vm.AddressSpace
+	Mem  *mem.Memory
+	regs [isa.NumRegs]uint64
+
+	// Translation and memory hierarchy.
+	DTLB    tlb.Device
+	tracker tlb.RegisterTracker
+	icache  *cache.Cache
+	dcache  *cache.Cache
+	pred    *bpred.Predictor
+
+	// Pipeline state.
+	rob        *rob
+	rename     [isa.NumRegs]int32
+	renameSlot [isa.NumRegs]int8
+	lsqCount   int
+	seq        int64
+	cycle      int64
+
+	fetchPC         uint64
+	fetchStallUntil int64
+	fetchQ          []fetchedInst
+	fetchQHead      int
+	haltPending     bool
+
+	// Per-cycle functional unit budgets and unit timelines.
+	intALUUsed, ldstUsed, fpAddUsed int
+	intMDFree, fpMDFree             int64
+
+	itlb *tlb.Bank // micro instruction TLB (nil unless Config.ModelITLB)
+
+	tlbMissOutstanding int
+	lastCommitCycle    int64
+	nextFlushAt        uint64
+
+	// Scan accelerators: how many ROB entries are in each live state.
+	// They let the per-cycle stages skip or truncate full-ROB scans.
+	nWaiting     int // sWaiting
+	nExec        int // sExecuting
+	nMem         int // sMemReq, sMemWalk, sStoreData
+	nStoreNoAddr int // stores whose address is not yet generated
+
+	pageBits uint
+	pageMask uint64
+
+	halted bool
+	err    error
+	stats  Stats
+}
+
+// New builds a machine running p with the given TLB design factory.
+// The factory receives the machine's address space (devices walk it on
+// fills); use tlb.NewFromSpec mnemonics via NewWithDesign for the
+// standard Table 2 designs.
+func New(p *prog.Program, cfg Config, buildTLB func(*vm.AddressSpace) tlb.Device) (*Machine, error) {
+	if cfg.PageSize == 0 {
+		return nil, fmt.Errorf("cpu: zero page size")
+	}
+	m := &Machine{
+		cfg:    cfg,
+		prog:   p,
+		AS:     vm.NewAddressSpace(cfg.PageSize),
+		Mem:    mem.New(),
+		icache: cache.New(cfg.ICache),
+		dcache: cache.New(cfg.DCache),
+		pred:   bpred.New(cfg.Branch),
+		rob:    newROB(cfg.ROBSize),
+		fetchQ: make([]fetchedInst, 0, cfg.FetchQueue),
+	}
+	m.pageBits = m.AS.PageBits()
+	m.pageMask = cfg.PageSize - 1
+	for _, r := range p.Regions {
+		m.AS.AddRegion(r)
+	}
+	m.DTLB = buildTLB(m.AS)
+	m.tracker, _ = m.DTLB.(tlb.RegisterTracker)
+	if cfg.ModelITLB {
+		n := cfg.ITLBEntries
+		if n <= 0 {
+			n = 4
+		}
+		m.itlb = tlb.NewBank(n, tlb.LRU, cfg.Seed+0x171b)
+	}
+	for reg, v := range p.InitRegs {
+		m.regs[reg] = v
+	}
+	for i := range m.rename {
+		m.rename[i] = -1
+	}
+	m.fetchPC = p.Entry
+	m.nextFlushAt = cfg.FlushTLBEvery
+	for _, seg := range p.Data {
+		if err := m.writeVirt(seg.Addr, seg.Bytes); err != nil {
+			return nil, fmt.Errorf("cpu: loading data segment at 0x%x: %w", seg.Addr, err)
+		}
+	}
+	// Loading the initial images is the loader's work, not the
+	// program's: clear the status bits so the simulated machine's own
+	// first references and writes set them (and generate the paper's
+	// status write-through traffic).
+	m.AS.ClearStatus()
+	return m, nil
+}
+
+// NewWithDesign builds a machine using a Table 2 design mnemonic.
+func NewWithDesign(p *prog.Program, cfg Config, design string) (*Machine, error) {
+	spec, err := tlb.LookupSpec(design)
+	if err != nil {
+		return nil, err
+	}
+	return New(p, cfg, func(as *vm.AddressSpace) tlb.Device {
+		return spec.Build(as, cfg.Seed)
+	})
+}
+
+func (m *Machine) writeVirt(vaddr uint64, b []byte) error {
+	ps := m.AS.PageSize()
+	for len(b) > 0 {
+		pa, err := m.AS.Translate(vaddr, vm.PermWrite)
+		if err != nil {
+			return err
+		}
+		n := ps - m.AS.PageOffset(vaddr)
+		if uint64(len(b)) < n {
+			n = uint64(len(b))
+		}
+		m.Mem.Write(pa, b[:n])
+		b = b[n:]
+		vaddr += n
+	}
+	return nil
+}
+
+func (m *Machine) readMem(paddr uint64, width int) uint64 {
+	switch width {
+	case 1:
+		return uint64(m.Mem.ByteAt(paddr))
+	case 2:
+		return uint64(m.Mem.Read16(paddr))
+	case 4:
+		return uint64(m.Mem.Read32(paddr))
+	default:
+		return m.Mem.Read64(paddr)
+	}
+}
+
+func (m *Machine) writeMem(paddr uint64, width int, v uint64) {
+	switch width {
+	case 1:
+		m.Mem.SetByte(paddr, byte(v))
+	case 2:
+		m.Mem.Write16(paddr, uint16(v))
+	case 4:
+		m.Mem.Write32(paddr, uint32(v))
+	default:
+		m.Mem.Write64(paddr, v)
+	}
+}
+
+// fetchPaddr translates an instruction address for I-cache indexing.
+// Instruction fetch translation is outside the paper's scope (a
+// single-ported instruction TLB suffices, Section 1), so it is modeled
+// as free: the page table is consulted directly. Wrong-path addresses
+// outside the text region index the cache by virtual address.
+func (m *Machine) fetchPaddr(vaddr uint64) uint64 {
+	vpn := vaddr >> m.pageBits
+	if pte, ok := m.AS.Probe(vpn); ok {
+		return pte.PFN<<m.pageBits | (vaddr & m.pageMask)
+	}
+	pte, err := m.AS.Walk(vpn)
+	if err != nil {
+		return vaddr
+	}
+	return pte.PFN<<m.pageBits | (vaddr & m.pageMask)
+}
+
+// tick advances the machine one cycle. Stage order within a tick runs
+// from the back of the pipeline forward so each instruction spends at
+// least one cycle per stage.
+func (m *Machine) tick() {
+	m.cycle++
+	m.DTLB.BeginCycle(m.cycle)
+	m.dcache.BeginCycle(m.cycle)
+	m.icache.BeginCycle(m.cycle)
+	m.intALUUsed, m.ldstUsed, m.fpAddUsed = 0, 0, 0
+
+	m.complete()
+	m.commit()
+	if m.halted || m.err != nil {
+		return
+	}
+	if m.cfg.FlushTLBEvery > 0 && m.stats.Committed >= m.nextFlushAt {
+		// Context switch: every cached translation dies (the paper's
+		// multiprogramming scenario). The micro-ITLB goes too.
+		m.DTLB.FlushAll()
+		if m.itlb != nil {
+			m.itlb.Flush()
+		}
+		m.stats.ContextFlushes++
+		m.nextFlushAt = m.stats.Committed + m.cfg.FlushTLBEvery
+	}
+	m.memExecute()
+	m.issue()
+	m.dispatch()
+	m.fetch()
+
+	if m.cycle-m.lastCommitCycle > 50000 {
+		m.err = fmt.Errorf("%w at cycle %d (pc 0x%x, rob %d entries)",
+			ErrDeadlock, m.cycle, m.fetchPC, m.rob.count)
+	}
+}
+
+// Run simulates until the program halts, a limit is reached, or an
+// error occurs. It returns nil on a clean halt or on reaching the
+// committed-instruction budget.
+func (m *Machine) Run() error {
+	for !m.halted && m.err == nil {
+		if m.cfg.MaxInsts > 0 && m.stats.Committed >= m.cfg.MaxInsts {
+			break
+		}
+		if m.cfg.MaxCycles > 0 && m.cycle >= m.cfg.MaxCycles {
+			break
+		}
+		m.tick()
+	}
+	m.stats.Cycles = m.cycle
+	m.stats.TLBWalks = m.DTLB.Stats().Fills
+	return m.err
+}
+
+// Stats returns the run's statistics (valid after Run).
+func (m *Machine) Stats() *Stats { return &m.stats }
+
+// Halted reports whether the program executed Halt.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Cycle returns the current cycle number.
+func (m *Machine) Cycle() int64 { return m.cycle }
+
+// Reg returns an architected register's value (for tests).
+func (m *Machine) Reg(r isa.Reg) uint64 { return m.regs[r] }
+
+// ReadVirt reads virtual memory (for result assertions in tests).
+func (m *Machine) ReadVirt(vaddr uint64, buf []byte) error {
+	ps := m.AS.PageSize()
+	for len(buf) > 0 {
+		pa, err := m.AS.Translate(vaddr, vm.PermRead)
+		if err != nil {
+			return err
+		}
+		n := ps - m.AS.PageOffset(vaddr)
+		if uint64(len(buf)) < n {
+			n = uint64(len(buf))
+		}
+		m.Mem.Read(pa, buf[:n])
+		buf = buf[n:]
+		vaddr += n
+	}
+	return nil
+}
+
+// ICacheStats and DCacheStats expose cache counters.
+func (m *Machine) ICacheStats() *cache.Stats { return m.icache.Stats() }
+
+// DCacheStats exposes data-cache counters.
+func (m *Machine) DCacheStats() *cache.Stats { return m.dcache.Stats() }
+
+// PredStats exposes branch predictor counters.
+func (m *Machine) PredStats() *bpred.Stats { return m.pred.Stats() }
+
+// DebugHead renders the ROB head entry for diagnosing stalls (used by
+// development tooling and deadlock reports).
+func (m *Machine) DebugHead() string {
+	e := m.rob.headEntry()
+	if e == nil {
+		return fmt.Sprintf("rob empty; fetchPC=0x%x stall=%d haltPending=%v qlen=%d tlbMiss=%d",
+			m.fetchPC, m.fetchStallUntil, m.haltPending, m.fetchQLen(), m.tlbMissOutstanding)
+	}
+	return fmt.Sprintf("head pc=0x%x %v state=%d doneAt=%d addrReady=%v walking=%v walkDone=%d memReqAt=%d effAddr=0x%x cycle=%d count=%d lsq=%d tlbMiss=%d",
+		e.pc, e.inst, e.state, e.doneAt, e.addrReady, e.walking, e.walkDone, e.memReqAt, e.effAddr, m.cycle, m.rob.count, m.lsqCount, m.tlbMissOutstanding)
+}

@@ -1,0 +1,166 @@
+package cpu
+
+import "hbat/internal/isa"
+
+// entry states.
+const (
+	sWaiting   uint8 = iota // in ROB, not yet issued
+	sExecuting              // on a functional unit; result at doneAt
+	sMemReq                 // memory op: address generated, needs TLB+cache
+	sMemWalk                // memory op: TLB miss detected, awaiting walk
+	sStoreData              // store: translated, waiting for its data value
+	sDone                   // complete; eligible to commit
+)
+
+// dest is one destination register write carried by a ROB entry.
+// Post-update memory operations have two (value and new base), with
+// independent ready times: the base update is ready at address
+// generation, the load value when memory responds.
+type dest struct {
+	reg     isa.Reg
+	val     uint64
+	readyAt int64
+}
+
+// operand identifies where a source value comes from: the architected
+// register file (producer < 0, val already read) or a ROB producer's
+// destination slot.
+type operand struct {
+	reg      isa.Reg
+	producer int32 // ROB slot index, -1 = register file
+	slot     int8  // producer's destination slot
+	seq      int64 // producer's sequence number (slot-recycling guard)
+	val      uint64
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	valid bool
+	seq   int64
+	pc    uint64
+	inst  *isa.Inst
+	state uint8
+
+	doneAt int64
+
+	srcs [3]operand
+	nsrc int
+
+	dests [2]dest
+	ndest int
+
+	// Control.
+	isCtrl     bool
+	predNextPC uint64
+	nextPC     uint64 // actual (set at execute)
+	predTaken  bool
+	ghrSnap    uint64
+	resolved   bool
+
+	flags uint8
+
+	// Memory.
+	isLoad    bool
+	isStore   bool
+	addrReady bool
+	effAddr   uint64
+	paddr     uint64
+	memWidth  int
+	storeVal  uint64
+	memReqAt  int64 // first cycle the TLB/cache request may be made
+	walkDone  int64 // cycle the page-table walk completes (sMemWalk)
+	walking   bool
+	fwdFrom   int32 // ROB slot of forwarding store (-1 none)
+}
+
+// robEntry flag bits.
+const (
+	fTaken       uint8 = 1 << iota // conditional branch actually taken
+	fMissCharged                   // counted in tlbMissOutstanding
+	fFaulted                       // protection fault (fatal if committed)
+)
+
+func (e *robEntry) actualTaken(t bool) {
+	if t {
+		e.flags |= fTaken
+	} else {
+		e.flags &^= fTaken
+	}
+}
+func (e *robEntry) takenActual() bool { return e.flags&fTaken != 0 }
+func (e *robEntry) setMissCharged()   { e.flags |= fMissCharged }
+func (e *robEntry) missCharged() bool { return e.flags&fMissCharged != 0 }
+func (e *robEntry) setFaulted()       { e.flags |= fFaulted }
+func (e *robEntry) faulted() bool     { return e.flags&fFaulted != 0 }
+
+// rob is a ring buffer of in-flight instructions in program order.
+type rob struct {
+	entries []robEntry
+	head    int // oldest
+	count   int
+}
+
+func newROB(size int) *rob {
+	return &rob{entries: make([]robEntry, size)}
+}
+
+func (r *rob) full() bool  { return r.count == len(r.entries) }
+func (r *rob) empty() bool { return r.count == 0 }
+
+// push allocates the next entry and returns its slot index.
+func (r *rob) push() int {
+	idx := (r.head + r.count) % len(r.entries)
+	r.count++
+	r.entries[idx] = robEntry{valid: true, fwdFrom: -1}
+	return idx
+}
+
+// pop retires the head entry.
+func (r *rob) pop() {
+	r.entries[r.head].valid = false
+	r.head = (r.head + 1) % len(r.entries)
+	r.count--
+}
+
+// at returns the entry at slot idx.
+func (r *rob) at(idx int) *robEntry { return &r.entries[idx] }
+
+// headEntry returns the oldest entry (nil when empty).
+func (r *rob) headEntry() *robEntry {
+	if r.count == 0 {
+		return nil
+	}
+	return &r.entries[r.head]
+}
+
+// forEach visits entries oldest to youngest; the visitor returns false
+// to stop early.
+func (r *rob) forEach(f func(idx int, e *robEntry) bool) {
+	for i := 0; i < r.count; i++ {
+		idx := (r.head + i) % len(r.entries)
+		if !f(idx, &r.entries[idx]) {
+			return
+		}
+	}
+}
+
+// squashAfter invalidates every entry younger than slot keepIdx and
+// returns how many were squashed.
+func (r *rob) squashAfter(keepIdx int) int {
+	// Find keepIdx's position from head.
+	pos := (keepIdx - r.head + len(r.entries)) % len(r.entries)
+	squashed := r.count - pos - 1
+	for i := pos + 1; i < r.count; i++ {
+		idx := (r.head + i) % len(r.entries)
+		r.entries[idx].valid = false
+	}
+	r.count = pos + 1
+	return squashed
+}
+
+// olderThan reports whether slot a holds an older instruction than b.
+func (r *rob) olderThan(a, b int) bool {
+	pa := (a - r.head + len(r.entries)) % len(r.entries)
+	pb := (b - r.head + len(r.entries)) % len(r.entries)
+	return pa < pb
+}

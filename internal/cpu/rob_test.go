@@ -1,0 +1,230 @@
+package cpu
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hbat/internal/prog"
+	"hbat/internal/workload"
+)
+
+func TestROBRingBasics(t *testing.T) {
+	r := newROB(4)
+	if !r.empty() || r.full() {
+		t.Fatal("fresh ROB state wrong")
+	}
+	idxs := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		idx := r.push()
+		r.at(idx).seq = int64(i)
+		idxs = append(idxs, idx)
+	}
+	if !r.full() {
+		t.Fatal("ROB should be full")
+	}
+	if r.headEntry().seq != 0 {
+		t.Fatal("head is not the oldest")
+	}
+	r.pop()
+	if r.full() || r.headEntry().seq != 1 {
+		t.Fatal("pop did not advance")
+	}
+	// Wrap-around.
+	idx := r.push()
+	r.at(idx).seq = 4
+	seqs := []int64{}
+	r.forEach(func(_ int, e *robEntry) bool {
+		seqs = append(seqs, e.seq)
+		return true
+	})
+	want := []int64{1, 2, 3, 4}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("forEach order %v, want %v", seqs, want)
+		}
+	}
+	if !r.olderThan(idxs[1], idx) {
+		t.Fatal("olderThan wrong across wrap")
+	}
+}
+
+func TestROBSquashAfter(t *testing.T) {
+	r := newROB(8)
+	var idxs []int
+	for i := 0; i < 6; i++ {
+		idx := r.push()
+		r.at(idx).seq = int64(i)
+		idxs = append(idxs, idx)
+	}
+	n := r.squashAfter(idxs[2])
+	if n != 3 {
+		t.Fatalf("squashed %d, want 3", n)
+	}
+	if r.count != 3 {
+		t.Fatalf("count %d, want 3", r.count)
+	}
+	last := int64(-1)
+	r.forEach(func(_ int, e *robEntry) bool {
+		last = e.seq
+		return true
+	})
+	if last != 2 {
+		t.Fatalf("youngest surviving seq %d, want 2", last)
+	}
+	for _, i := range idxs[3:] {
+		if r.at(i).valid {
+			t.Fatal("squashed entry still valid")
+		}
+	}
+}
+
+// Property: any push/pop/squash sequence keeps the ring consistent:
+// count matches the number of valid entries seen by forEach, in
+// strictly increasing seq order.
+func TestROBConsistencyProperty(t *testing.T) {
+	check := func(ops []uint8) bool {
+		r := newROB(8)
+		seq := int64(0)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				if !r.full() {
+					idx := r.push()
+					r.at(idx).seq = seq
+					r.at(idx).state = sDone
+					seq++
+				}
+			case 1:
+				if !r.empty() {
+					r.pop()
+				}
+			case 2:
+				if r.count > 1 {
+					// Squash after the head.
+					r.squashAfter(r.head)
+				}
+			}
+			// Invariants.
+			n := 0
+			last := int64(-1)
+			okOrder := true
+			r.forEach(func(_ int, e *robEntry) bool {
+				if !e.valid || e.seq <= last {
+					okOrder = false
+				}
+				last = e.seq
+				n++
+				return true
+			})
+			if n != r.count || !okOrder {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFetchQueueRing(t *testing.T) {
+	m := &Machine{fetchQ: make([]fetchedInst, 0, 4)}
+	m.cfg.FetchQueue = 4
+	for i := 0; i < 3; i++ {
+		m.pushFetched(fetchedInst{pc: uint64(i)})
+	}
+	if m.fetchQLen() != 3 {
+		t.Fatalf("len %d", m.fetchQLen())
+	}
+	if m.peekFetched().pc != 0 {
+		t.Fatal("peek wrong")
+	}
+	if m.popFetched().pc != 0 || m.popFetched().pc != 1 {
+		t.Fatal("pop order wrong")
+	}
+	m.pushFetched(fetchedInst{pc: 9}) // triggers compaction path
+	if m.fetchQLen() != 2 || m.peekFetched().pc != 2 {
+		t.Fatal("state after compaction wrong")
+	}
+	m.flushFetchQ()
+	if m.fetchQLen() != 0 || m.peekFetched() != nil {
+		t.Fatal("flush wrong")
+	}
+}
+
+// TestDeterminism: identical configurations produce identical cycle
+// counts and statistics (required for reproducible experiments).
+func TestDeterminism(t *testing.T) {
+	p := buildSumProgram(t, 200, prog.Budget32)
+	var cycles [2]int64
+	var walks [2]uint64
+	for i := range cycles {
+		m, err := NewWithDesign(p, DefaultConfig(), "M8")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		cycles[i] = m.Stats().Cycles
+		walks[i] = m.Stats().TLBWalks
+	}
+	if cycles[0] != cycles[1] || walks[0] != walks[1] {
+		t.Fatalf("nondeterministic: %v %v", cycles, walks)
+	}
+}
+
+// checkStateCounters verifies the scan-accelerator counters against a
+// full ROB scan.
+func (m *Machine) checkStateCounters() error {
+	w, x, mm, sna := 0, 0, 0, 0
+	m.rob.forEach(func(_ int, e *robEntry) bool {
+		switch e.state {
+		case sWaiting:
+			w++
+		case sExecuting:
+			x++
+		case sMemReq, sMemWalk, sStoreData:
+			mm++
+		}
+		if e.isStore && !e.addrReady {
+			sna++
+		}
+		return true
+	})
+	if w != m.nWaiting || x != m.nExec || mm != m.nMem || sna != m.nStoreNoAddr {
+		return fmt.Errorf("counters drifted: waiting %d/%d exec %d/%d mem %d/%d storeNoAddr %d/%d",
+			m.nWaiting, w, m.nExec, x, m.nMem, mm, m.nStoreNoAddr, sna)
+	}
+	return nil
+}
+
+// TestStateCountersStayConsistent drives a branchy, memory-heavy
+// workload tick by tick and validates the scan-accelerator counters
+// against a full scan throughout.
+func TestStateCountersStayConsistent(t *testing.T) {
+	w, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Build(prog.Budget32, workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewWithDesign(p, DefaultConfig(), "M4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !m.halted && m.err == nil && m.cycle < 30000 {
+		m.tick()
+		if m.cycle%64 == 0 {
+			if err := m.checkStateCounters(); err != nil {
+				t.Fatalf("cycle %d: %v", m.cycle, err)
+			}
+		}
+	}
+	if m.err != nil {
+		t.Fatal(m.err)
+	}
+}

@@ -1,0 +1,104 @@
+package cpu
+
+import (
+	"testing"
+
+	"hbat/internal/emu"
+	"hbat/internal/prog"
+	"hbat/internal/workload"
+)
+
+// TestVirtualCacheCorrectness: the virtually-indexed organization must
+// be architecturally identical to the physical one for every workload.
+func TestVirtualCacheCorrectness(t *testing.T) {
+	for _, name := range []string{"espresso", "xlisp", "compress", "perl"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, err := workload.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := w.Build(prog.Budget32, workload.ScaleTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := emu.New(p, 4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Run(0); err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.VirtualCache = true
+			m, err := NewWithDesign(p, cfg, "T1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(); err != nil {
+				t.Fatalf("%v\n%s", err, m.DebugHead())
+			}
+			if m.Stats().Committed != ref.InstCount {
+				t.Fatalf("committed %d, emulator %d", m.Stats().Committed, ref.InstCount)
+			}
+			got := make([]byte, 2048)
+			want := make([]byte, 2048)
+			if err := m.ReadVirt(prog.DataBase, got); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.ReadVirt(prog.DataBase, want); err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("memory differs at data+%d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestVirtualCacheRelievesBandwidth reproduces the paper's Section 3
+// observation: with a virtual cache, translation is needed only on
+// cache misses, so even a single-ported TLB stops being a bottleneck.
+// espresso — the workload most starved by T1 — must recover nearly all
+// of the performance it loses to translation bandwidth.
+func TestVirtualCacheRelievesBandwidth(t *testing.T) {
+	w, err := workload.ByName("espresso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Build(prog.Budget32, workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(vc bool) *Stats {
+		cfg := DefaultConfig()
+		cfg.VirtualCache = vc
+		m, err := NewWithDesign(p, cfg, "T1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if vc {
+			// Translation requests must have collapsed to roughly the
+			// cache miss count.
+			dev := m.DTLB.Stats()
+			if dev.Lookups >= (m.Stats().CommittedLoads+m.Stats().CommittedStores)/2 {
+				t.Errorf("virtual cache still translated %d of %d refs",
+					dev.Lookups, m.Stats().CommittedLoads+m.Stats().CommittedStores)
+			}
+		}
+		return m.Stats()
+	}
+	phys := run(false)
+	virt := run(true)
+	if virt.IPC() <= phys.IPC()*1.2 {
+		t.Fatalf("virtual cache IPC %.3f vs physical %.3f: expected a large recovery on T1",
+			virt.IPC(), phys.IPC())
+	}
+	t.Logf("T1 IPC: physical-cache %.3f, virtual-cache %.3f", phys.IPC(), virt.IPC())
+}

@@ -1,0 +1,154 @@
+// Package harness drives the paper's evaluation: it builds workloads,
+// runs them on configured machines over every analyzed TLB design, and
+// reproduces each table and figure of Section 4 (Table 2's design list,
+// Table 3's program characterization, Figure 5's baseline comparison,
+// Figure 6's TLB miss rates, Figure 7's in-order issue study, Figure
+// 8's 8 KB-page study, and Figure 9's reduced-register study).
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hbat/internal/cpu"
+	"hbat/internal/prog"
+	"hbat/internal/tlb"
+	"hbat/internal/workload"
+)
+
+// RunSpec names one simulation: a workload on one machine configuration
+// with one translation design.
+type RunSpec struct {
+	Workload string
+	Design   string
+	Budget   prog.RegBudget
+	Scale    workload.Scale
+	PageSize uint64
+	InOrder  bool
+	Seed     uint64
+	MaxInsts uint64 // optional commit cap (0 = run to Halt)
+
+	// Extensions beyond the paper's grid.
+	VirtualCache       bool
+	ContextSwitchEvery uint64
+}
+
+func (s RunSpec) String() string {
+	mode := "ooo"
+	if s.InOrder {
+		mode = "inorder"
+	}
+	return fmt.Sprintf("%s/%s/%s/%dk-pages/%s", s.Workload, s.Design, mode, s.PageSize/1024, s.Budget)
+}
+
+// RunResult is one simulation's outcome.
+type RunResult struct {
+	Spec  RunSpec
+	Stats cpu.Stats
+	TLB   tlb.Stats
+	Err   error
+}
+
+// Run executes one simulation.
+func Run(spec RunSpec) RunResult {
+	res := RunResult{Spec: spec}
+	w, err := workload.ByName(spec.Workload)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	p, err := w.Build(spec.Budget, spec.Scale)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	cfg := cpu.DefaultConfig()
+	cfg.PageSize = spec.PageSize
+	cfg.InOrder = spec.InOrder
+	cfg.MaxInsts = spec.MaxInsts
+	cfg.VirtualCache = spec.VirtualCache
+	cfg.FlushTLBEvery = spec.ContextSwitchEvery
+	if spec.Seed != 0 {
+		cfg.Seed = spec.Seed
+	}
+	m, err := cpu.NewWithDesign(p, cfg, spec.Design)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if err := m.Run(); err != nil {
+		res.Err = fmt.Errorf("%s: %w", spec, err)
+		return res
+	}
+	res.Stats = *m.Stats()
+	res.TLB = *m.DTLB.Stats()
+	return res
+}
+
+// RunAll executes specs with bounded parallelism (0 = GOMAXPROCS),
+// reporting progress after each completion when progress is non-nil.
+// Results are returned in spec order.
+func RunAll(specs []RunSpec, parallelism int, progress func(done, total int, r *RunResult)) []RunResult {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	results := make([]RunResult, len(specs))
+	var (
+		mu   sync.Mutex
+		done int
+		wg   sync.WaitGroup
+	)
+	sem := make(chan struct{}, parallelism)
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = Run(specs[i])
+			if progress != nil {
+				mu.Lock()
+				done++
+				progress(done, len(specs), &results[i])
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// Options configures an experiment run.
+type Options struct {
+	Scale       workload.Scale
+	Parallelism int
+	Seed        uint64
+	// Workloads restricts the benchmark set (nil = all ten).
+	Workloads []string
+	// Designs restricts the design set (nil = Table 2's thirteen).
+	Designs []string
+	// Progress, when non-nil, receives per-run completions.
+	Progress func(done, total int, r *RunResult)
+}
+
+func (o *Options) workloads() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	return workload.Names()
+}
+
+func (o *Options) designs() []string {
+	if len(o.Designs) > 0 {
+		return o.Designs
+	}
+	return tlb.DesignOrder
+}
+
+func (o *Options) seed() uint64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 1
+}

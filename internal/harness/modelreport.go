@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"hbat/internal/cpu"
+	"hbat/internal/model"
+	"hbat/internal/prog"
+)
+
+// ModelRow is the Section 2 model fitted to one design, run-time
+// weighted across the workloads.
+type ModelRow struct {
+	Design    string
+	FShielded float64
+	TStalled  float64
+	TTLBHit   float64
+	MTLB      float64
+	TAT       float64
+	TPIUntol  float64
+	TPIMeas   float64
+	FTol      float64
+	RelIPC    float64
+}
+
+// ModelStudy fits the paper's Section 2 address-translation performance
+// model to every design over the workload set: each design's runs are
+// compared to the T4 baseline, and the fitted quantities are run-time
+// weighted the same way the figures are.
+func ModelStudy(opts Options) ([]ModelRow, error) {
+	designs := opts.designs()
+	wls := opts.workloads()
+
+	var specs []RunSpec
+	for _, d := range designs {
+		for _, w := range wls {
+			specs = append(specs, RunSpec{
+				Workload: w, Design: d, Budget: prog.Budget32,
+				Scale: opts.Scale, PageSize: 4096, Seed: opts.seed(),
+			})
+		}
+	}
+	results := RunAll(specs, opts.Parallelism, opts.Progress)
+	byKey := map[string]*RunResult{}
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		byKey[r.Spec.Design+"/"+r.Spec.Workload] = r
+	}
+
+	walk := float64(cpu.DefaultConfig().TLBMissLatency)
+	rows := make([]ModelRow, 0, len(designs))
+	for _, d := range designs {
+		row := ModelRow{Design: d}
+		var totalWeight float64
+		for _, w := range wls {
+			base := byKey["T4/"+w]
+			dev := byKey[d+"/"+w]
+			if base == nil || dev == nil {
+				return nil, fmt.Errorf("harness: model study missing %s/%s", d, w)
+			}
+			rep := model.Analyze(d, w,
+				model.RunStats{CPU: base.Stats, TLB: base.TLB},
+				model.RunStats{CPU: dev.Stats, TLB: dev.TLB}, walk)
+			weight := float64(base.Stats.Cycles)
+			totalWeight += weight
+			row.FShielded += weight * rep.FShielded
+			row.TStalled += weight * rep.TStalled
+			row.TTLBHit += weight * rep.TTLBHit
+			row.MTLB += weight * rep.MTLB
+			row.TAT += weight * rep.TAT
+			row.TPIUntol += weight * rep.TPIUntol
+			row.TPIMeas += weight * rep.TPIMeasured
+			row.FTol += weight * rep.FTol
+			row.RelIPC += weight * rep.RelativeIPC
+		}
+		if totalWeight > 0 {
+			row.FShielded /= totalWeight
+			row.TStalled /= totalWeight
+			row.TTLBHit /= totalWeight
+			row.MTLB /= totalWeight
+			row.TAT /= totalWeight
+			row.TPIUntol /= totalWeight
+			row.TPIMeas /= totalWeight
+			row.FTol /= totalWeight
+			row.RelIPC /= totalWeight
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderModelStudy writes the fitted-model table.
+func RenderModelStudy(w io.Writer, rows []ModelRow) {
+	fmt.Fprintln(w, "Section 2 model, fitted per design (run-time weighted averages; T4 is the baseline)")
+	fmt.Fprintf(w, "%-7s %10s %10s %10s %8s %8s %10s %10s %7s %8s\n",
+		"design", "f_shield", "t_stalled", "t_TLBhit+", "M_TLB", "t_AT", "TPI-untol", "TPI-meas", "f_TOL", "IPC/T4")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7s %10.4f %10.4f %10.4f %8.4f %8.4f %10.4f %10.4f %7.3f %8.4f\n",
+			r.Design, r.FShielded, r.TStalled, r.TTLBHit, r.MTLB, r.TAT,
+			r.TPIUntol, r.TPIMeas, r.FTol, r.RelIPC)
+	}
+}

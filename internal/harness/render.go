@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"hbat/internal/tlb"
+)
+
+// RenderFigure writes a FigureResult as a paper-style report: the
+// run-time weighted average normalized IPC per design (the bar chart of
+// Figures 5/7/8/9) followed by the per-workload normalized detail table
+// (the paper's FTP appendix).
+func RenderFigure(w io.Writer, f *FigureResult) {
+	fmt.Fprintf(w, "%s: %s\n", f.Name, f.Caption)
+	fmt.Fprintf(w, "%-7s %-9s %-9s %s\n", "design", "norm-IPC", "avg-IPC", "(normalized to T4, run-time weighted)")
+	for _, d := range f.Designs {
+		n := f.NormalizedAvg(d)
+		bar := strings.Repeat("#", int(n*50+0.5))
+		fmt.Fprintf(w, "%-7s %8.4f  %8.4f  |%s\n", d, n, f.WeightedAvgIPC(d), bar)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "per-workload normalized IPC:\n")
+	fmt.Fprintf(w, "%-13s", "workload")
+	for _, d := range f.Designs {
+		fmt.Fprintf(w, "%7s", d)
+	}
+	fmt.Fprintln(w)
+	for _, wl := range f.Workloads {
+		fmt.Fprintf(w, "%-13s", wl)
+		for _, d := range f.Designs {
+			fmt.Fprintf(w, "%7.3f", f.Normalized(d, wl))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-13s", "RTW-avg")
+	for _, d := range f.Designs {
+		fmt.Fprintf(w, "%7.3f", f.NormalizedAvg(d))
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "translation behaviour (totals across workloads):")
+	fmt.Fprintf(w, "%-7s %12s %10s %12s %12s %10s %10s\n",
+		"design", "lookups", "walks", "shielded", "piggyback", "no-port", "queue-cyc")
+	for _, d := range f.Designs {
+		var lookups, walks, shield, piggy, noport, queue uint64
+		for _, wl := range f.Workloads {
+			r := f.Runs[d][wl]
+			if r == nil {
+				continue
+			}
+			lookups += r.TLB.Lookups
+			walks += r.TLB.Fills
+			shield += r.TLB.ShieldHits
+			piggy += r.TLB.Piggybacks
+			noport += r.TLB.NoPorts
+			queue += r.TLB.QueueCycles
+		}
+		fmt.Fprintf(w, "%-7s %12d %10d %12d %12d %10d %10d\n",
+			d, lookups, walks, shield, piggy, noport, queue)
+	}
+}
+
+// FigureCSV writes a FigureResult as CSV (design, workload, ipc,
+// normalized) for external plotting.
+func FigureCSV(w io.Writer, f *FigureResult) {
+	fmt.Fprintln(w, "figure,design,workload,ipc,normalized")
+	for _, d := range f.Designs {
+		for _, wl := range f.Workloads {
+			fmt.Fprintf(w, "%s,%s,%s,%.6f,%.6f\n", f.Name, d, wl, f.IPC[d][wl], f.Normalized(d, wl))
+		}
+		fmt.Fprintf(w, "%s,%s,RTW-avg,%.6f,%.6f\n", f.Name, d, f.WeightedAvgIPC(d), f.NormalizedAvg(d))
+	}
+}
+
+// RenderTable3 writes the Table 3 program-characterization report.
+func RenderTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table 3: Program Execution Performance (baseline 8-way out-of-order, T4)")
+	fmt.Fprintf(w, "%-13s %9s %9s %9s  %6s %6s  %6s %6s  %8s\n",
+		"program", "insts", "loads", "stores", "issue", "c'mit", "ld+st", "ld+st", "br pred")
+	fmt.Fprintf(w, "%-13s %9s %9s %9s  %6s %6s  %6s %6s  %8s\n",
+		"", "", "", "", "IPC", "IPC", "issue", "c'mit", "rate %")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %9d %9d %9d  %6.2f %6.2f  %6.2f %6.2f  %8.1f\n",
+			r.Workload, r.Insts, r.Loads, r.Stores,
+			r.IssueIPC, r.CommitIPC, r.IssueMem, r.CommitMem, 100*r.BranchRate)
+	}
+}
+
+// RenderFigure6 writes the TLB miss-rate study.
+func RenderFigure6(w io.Writer, f *Figure6Result) {
+	fmt.Fprintln(w, "Figure 6: TLB Miss Rates (% of data references missing a fully-associative TLB;")
+	fmt.Fprintln(w, "          LRU replacement through 16 entries, random replacement from 32 up)")
+	fmt.Fprintf(w, "%-13s", "workload")
+	for _, s := range f.Sizes {
+		fmt.Fprintf(w, "%9d", s)
+	}
+	fmt.Fprintln(w)
+	for _, wl := range f.Workloads {
+		fmt.Fprintf(w, "%-13s", wl)
+		for _, s := range f.Sizes {
+			fmt.Fprintf(w, "%8.3f%%", 100*f.MissRate[wl][s])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-13s", "RTW-avg")
+	for _, s := range f.Sizes {
+		fmt.Fprintf(w, "%8.3f%%", 100*f.RTWAvg(s))
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderTable2 writes the analyzed-designs list.
+func RenderTable2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: Analyzed Address Translation Designs")
+	for _, d := range tlb.DesignOrder {
+		spec, err := tlb.LookupSpec(d)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "%-6s %s\n", spec.Mnemonic, spec.Description)
+	}
+}

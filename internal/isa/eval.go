@@ -1,0 +1,164 @@
+package isa
+
+import "math"
+
+// All register values are carried as uint64; floating-point registers
+// hold math.Float64bits of their value. These helpers implement the
+// architected semantics on plain values so both the functional emulator
+// and the timing pipelines share one definition of the ISA.
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ALUEval computes the result of a non-memory, non-control instruction
+// given its source operand values (rs, rt; unary ops ignore rt).
+// PC is the instruction's own address (needed by Jal/Jalr link values).
+func ALUEval(in *Inst, rs, rt, pc uint64) uint64 {
+	switch in.Op {
+	case Add:
+		return rs + rt
+	case Sub:
+		return rs - rt
+	case And:
+		return rs & rt
+	case Or:
+		return rs | rt
+	case Xor:
+		return rs ^ rt
+	case Nor:
+		return ^(rs | rt)
+	case Sllv:
+		return rs << (rt & 63)
+	case Srlv:
+		return rs >> (rt & 63)
+	case Srav:
+		return uint64(int64(rs) >> (rt & 63))
+	case Slt:
+		return b2u(int64(rs) < int64(rt))
+	case Sltu:
+		return b2u(rs < rt)
+	case Addi:
+		return rs + uint64(int64(in.Imm))
+	case Andi:
+		return rs & uint64(uint32(in.Imm))
+	case Ori:
+		return rs | uint64(uint32(in.Imm))
+	case Xori:
+		return rs ^ uint64(uint32(in.Imm))
+	case Slti:
+		return b2u(int64(rs) < int64(in.Imm))
+	case Sltiu:
+		return b2u(rs < uint64(int64(in.Imm)))
+	case Sll:
+		return rs << (uint32(in.Imm) & 63)
+	case Srl:
+		return rs >> (uint32(in.Imm) & 63)
+	case Sra:
+		return uint64(int64(rs) >> (uint32(in.Imm) & 63))
+	case Lui:
+		return uint64(int64(in.Imm)) << 16
+	case Mult:
+		return rs * rt
+	case Div:
+		if rt == 0 {
+			return 0
+		}
+		return uint64(int64(rs) / int64(rt))
+	case Rem:
+		if rt == 0 {
+			return 0
+		}
+		return uint64(int64(rs) % int64(rt))
+	case AddF:
+		return math.Float64bits(math.Float64frombits(rs) + math.Float64frombits(rt))
+	case SubF:
+		return math.Float64bits(math.Float64frombits(rs) - math.Float64frombits(rt))
+	case MulF:
+		return math.Float64bits(math.Float64frombits(rs) * math.Float64frombits(rt))
+	case DivF:
+		return math.Float64bits(math.Float64frombits(rs) / math.Float64frombits(rt))
+	case AbsF:
+		return math.Float64bits(math.Abs(math.Float64frombits(rs)))
+	case NegF:
+		return math.Float64bits(-math.Float64frombits(rs))
+	case MovF, MTF, MFF:
+		return rs
+	case CvtIF:
+		return math.Float64bits(float64(int64(rs)))
+	case CvtFI:
+		f := math.Float64frombits(rs)
+		if math.IsNaN(f) {
+			return 0
+		}
+		return uint64(int64(f))
+	case CmpLtF:
+		return b2u(math.Float64frombits(rs) < math.Float64frombits(rt))
+	case CmpLeF:
+		return b2u(math.Float64frombits(rs) <= math.Float64frombits(rt))
+	case CmpEqF:
+		return b2u(math.Float64frombits(rs) == math.Float64frombits(rt))
+	case Jal, Jalr:
+		return pc + InstBytes
+	}
+	return 0
+}
+
+// BranchTaken evaluates a conditional branch's predicate on its operand
+// values. Calling it on a non-branch op returns false.
+func BranchTaken(in *Inst, rs, rt uint64) bool {
+	switch in.Op {
+	case Beq:
+		return rs == rt
+	case Bne:
+		return rs != rt
+	case Blez:
+		return int64(rs) <= 0
+	case Bgtz:
+		return int64(rs) > 0
+	case Bltz:
+		return int64(rs) < 0
+	case Bgez:
+		return int64(rs) >= 0
+	}
+	return false
+}
+
+// EffAddr computes the effective address of a memory instruction and,
+// for post-update modes, the new base register value.
+func EffAddr(in *Inst, rs, rt uint64) (addr, newBase uint64, updates bool) {
+	switch in.Mode {
+	case AMImm:
+		return rs + uint64(int64(in.Imm)), 0, false
+	case AMReg:
+		return rs + rt, 0, false
+	case AMPostInc:
+		return rs, rs + uint64(int64(in.Imm)), true
+	case AMPostDec:
+		return rs, rs - uint64(int64(in.Imm)), true
+	}
+	return rs, 0, false
+}
+
+// LoadExtend converts a raw little-endian load of the op's width (held
+// in the low bytes of raw) into the architected register value.
+func LoadExtend(op Op, raw uint64) uint64 {
+	switch op {
+	case Lb:
+		return uint64(int64(int8(raw)))
+	case Lbu:
+		return raw & 0xff
+	case Lh:
+		return uint64(int64(int16(raw)))
+	case Lhu:
+		return raw & 0xffff
+	case Lw:
+		return uint64(int64(int32(raw)))
+	case Ld, LdF:
+		return raw
+	}
+	return raw
+}

@@ -1,0 +1,187 @@
+// Package mem implements the sparse physical memory underlying the
+// simulated machine. Storage is allocated in fixed-size frames on first
+// touch, so multi-megabyte simulated data sets (the paper's TFFT uses
+// ~40 MB) cost only what they actually touch.
+package mem
+
+import "encoding/binary"
+
+// FrameBits is the log2 of the physical frame size used for backing
+// storage. This is an implementation detail of the sparse store and is
+// independent of the virtual-memory page size.
+const FrameBits = 12
+
+// FrameSize is the byte size of one backing frame.
+const FrameSize = 1 << FrameBits
+
+type frame [FrameSize]byte
+
+// Memory is a sparse byte-addressable physical memory. The zero value
+// is an empty memory ready for use. Memory is not safe for concurrent
+// mutation; the simulator is single-goroutine per machine.
+type Memory struct {
+	frames map[uint64]*frame
+}
+
+// New returns an empty physical memory.
+func New() *Memory {
+	return &Memory{frames: make(map[uint64]*frame)}
+}
+
+func (m *Memory) frameFor(addr uint64) *frame {
+	if m.frames == nil {
+		m.frames = make(map[uint64]*frame)
+	}
+	fn := addr >> FrameBits
+	f := m.frames[fn]
+	if f == nil {
+		f = new(frame)
+		m.frames[fn] = f
+	}
+	return f
+}
+
+// peekFrame returns the frame containing addr, or nil if untouched.
+func (m *Memory) peekFrame(addr uint64) *frame {
+	if m.frames == nil {
+		return nil
+	}
+	return m.frames[addr>>FrameBits]
+}
+
+// FramesTouched reports how many backing frames have been allocated.
+func (m *Memory) FramesTouched() int { return len(m.frames) }
+
+// ByteAt returns the byte at addr (0 for untouched memory).
+func (m *Memory) ByteAt(addr uint64) byte {
+	f := m.peekFrame(addr)
+	if f == nil {
+		return 0
+	}
+	return f[addr&(FrameSize-1)]
+}
+
+// SetByte stores one byte at addr.
+func (m *Memory) SetByte(addr uint64, v byte) {
+	m.frameFor(addr)[addr&(FrameSize-1)] = v
+}
+
+// Read fills buf with len(buf) bytes starting at addr. Reads may span
+// frame boundaries.
+func (m *Memory) Read(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		off := addr & (FrameSize - 1)
+		n := FrameSize - off
+		if uint64(len(buf)) < n {
+			n = uint64(len(buf))
+		}
+		if f := m.peekFrame(addr); f != nil {
+			copy(buf[:n], f[off:off+n])
+		} else {
+			for i := range buf[:n] {
+				buf[i] = 0
+			}
+		}
+		buf = buf[n:]
+		addr += n
+	}
+}
+
+// Write stores buf at addr. Writes may span frame boundaries.
+func (m *Memory) Write(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		off := addr & (FrameSize - 1)
+		n := FrameSize - off
+		if uint64(len(buf)) < n {
+			n = uint64(len(buf))
+		}
+		copy(m.frameFor(addr)[off:off+n], buf[:n])
+		buf = buf[n:]
+		addr += n
+	}
+}
+
+// fast-path helpers: loads and stores of naturally aligned scalars are
+// the common case in the simulator's inner loop, so avoid the generic
+// span logic when the access fits in one frame.
+
+// Read16 loads a little-endian 16-bit value.
+func (m *Memory) Read16(addr uint64) uint16 {
+	off := addr & (FrameSize - 1)
+	if off <= FrameSize-2 {
+		f := m.peekFrame(addr)
+		if f == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint16(f[off:])
+	}
+	var b [2]byte
+	m.Read(addr, b[:])
+	return binary.LittleEndian.Uint16(b[:])
+}
+
+// Read32 loads a little-endian 32-bit value.
+func (m *Memory) Read32(addr uint64) uint32 {
+	off := addr & (FrameSize - 1)
+	if off <= FrameSize-4 {
+		f := m.peekFrame(addr)
+		if f == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint32(f[off:])
+	}
+	var b [4]byte
+	m.Read(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// Read64 loads a little-endian 64-bit value.
+func (m *Memory) Read64(addr uint64) uint64 {
+	off := addr & (FrameSize - 1)
+	if off <= FrameSize-8 {
+		f := m.peekFrame(addr)
+		if f == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(f[off:])
+	}
+	var b [8]byte
+	m.Read(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Write16 stores a little-endian 16-bit value.
+func (m *Memory) Write16(addr uint64, v uint16) {
+	off := addr & (FrameSize - 1)
+	if off <= FrameSize-2 {
+		binary.LittleEndian.PutUint16(m.frameFor(addr)[off:], v)
+		return
+	}
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	m.Write(addr, b[:])
+}
+
+// Write32 stores a little-endian 32-bit value.
+func (m *Memory) Write32(addr uint64, v uint32) {
+	off := addr & (FrameSize - 1)
+	if off <= FrameSize-4 {
+		binary.LittleEndian.PutUint32(m.frameFor(addr)[off:], v)
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	m.Write(addr, b[:])
+}
+
+// Write64 stores a little-endian 64-bit value.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	off := addr & (FrameSize - 1)
+	if off <= FrameSize-8 {
+		binary.LittleEndian.PutUint64(m.frameFor(addr)[off:], v)
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	m.Write(addr, b[:])
+}

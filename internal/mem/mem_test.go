@@ -1,0 +1,120 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueAndUntouchedReadsAsZero(t *testing.T) {
+	var m Memory
+	if m.ByteAt(12345) != 0 {
+		t.Error("untouched byte != 0")
+	}
+	if m.Read64(99999) != 0 {
+		t.Error("untouched word != 0")
+	}
+	buf := make([]byte, 64)
+	m.Read(1<<40, buf)
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("untouched span != 0")
+		}
+	}
+	if m.FramesTouched() != 0 {
+		t.Error("reads allocated frames")
+	}
+}
+
+func TestScalarRoundTrips(t *testing.T) {
+	m := New()
+	m.SetByte(10, 0xAB)
+	if got := m.ByteAt(10); got != 0xAB {
+		t.Errorf("byte: %#x", got)
+	}
+	m.Write16(100, 0xBEEF)
+	if got := m.Read16(100); got != 0xBEEF {
+		t.Errorf("u16: %#x", got)
+	}
+	m.Write32(200, 0xDEADBEEF)
+	if got := m.Read32(200); got != 0xDEADBEEF {
+		t.Errorf("u32: %#x", got)
+	}
+	m.Write64(300, 0x0123456789ABCDEF)
+	if got := m.Read64(300); got != 0x0123456789ABCDEF {
+		t.Errorf("u64: %#x", got)
+	}
+}
+
+func TestFrameBoundarySpans(t *testing.T) {
+	m := New()
+	// Write a 64-bit value straddling a frame boundary.
+	addr := uint64(FrameSize - 3)
+	m.Write64(addr, 0x1122334455667788)
+	if got := m.Read64(addr); got != 0x1122334455667788 {
+		t.Errorf("straddling u64: %#x", got)
+	}
+	// Bulk write across several frames.
+	data := make([]byte, 3*FrameSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	base := uint64(5*FrameSize - 100)
+	m.Write(base, data)
+	got := make([]byte, len(data))
+	m.Read(base, got)
+	if !bytes.Equal(data, got) {
+		t.Error("multi-frame span mismatch")
+	}
+}
+
+func TestSparseness(t *testing.T) {
+	m := New()
+	m.SetByte(0, 1)
+	m.SetByte(1<<30, 1)
+	if got := m.FramesTouched(); got != 2 {
+		t.Errorf("frames touched = %d, want 2", got)
+	}
+}
+
+// Property: what is written is read back, for all widths and addresses.
+func TestReadWriteProperty(t *testing.T) {
+	m := New()
+	if err := quick.Check(func(addr uint64, v uint64, width uint8) bool {
+		addr %= 1 << 30
+		switch width % 4 {
+		case 0:
+			m.SetByte(addr, byte(v))
+			return m.ByteAt(addr) == byte(v)
+		case 1:
+			m.Write16(addr, uint16(v))
+			return m.Read16(addr) == uint16(v)
+		case 2:
+			m.Write32(addr, uint32(v))
+			return m.Read32(addr) == uint32(v)
+		default:
+			m.Write64(addr, v)
+			return m.Read64(addr) == v
+		}
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: little-endian composition — a 64-bit write is byte-wise
+// consistent with ByteAt.
+func TestEndiannessProperty(t *testing.T) {
+	m := New()
+	if err := quick.Check(func(addr uint64, v uint64) bool {
+		addr %= 1 << 30
+		m.Write64(addr, v)
+		for i := 0; i < 8; i++ {
+			if m.ByteAt(addr+uint64(i)) != byte(v>>(8*i)) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

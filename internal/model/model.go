@@ -1,0 +1,130 @@
+// Package model implements the paper's Section 2 qualitative
+// performance model of address translation and fits it to measured
+// simulation results. The model:
+//
+//	t_AT    = (1 - f_shielded) * (t_stalled + t_TLBhit + M_TLB * t_TLBmiss)
+//	TPI_AT  = f_MEM * (1 - f_TOL) * t_AT
+//
+// where f_shielded is the fraction of requests absorbed by a shielding
+// mechanism (L1 TLB, piggyback port, or pretranslation cache),
+// t_stalled the average port-queueing delay, M_TLB the base-TLB miss
+// ratio, and f_TOL the fraction of translation latency the processor
+// core tolerates (overlap from out-of-order issue and non-blocking
+// memory). Every quantity except f_TOL is measured directly; f_TOL is
+// inferred by comparing the model's untolerated time-per-instruction
+// against the measured slowdown relative to an unconstrained-bandwidth
+// baseline, which is exactly how the paper frames the term.
+package model
+
+import (
+	"fmt"
+	"io"
+
+	"hbat/internal/cpu"
+	"hbat/internal/tlb"
+)
+
+// RunStats bundles the core and device statistics of one run.
+type RunStats struct {
+	CPU cpu.Stats
+	TLB tlb.Stats
+}
+
+// Report is the fitted Section 2 model for one design, relative to a
+// baseline whose translation bandwidth never constrains the core (the
+// paper's T4).
+type Report struct {
+	Design   string
+	Workload string
+
+	// Model inputs measured from the run.
+	FMem      float64 // dynamic fraction of instructions accessing memory
+	FShielded float64 // requests absorbed by shielding structures
+	MTLB      float64 // base-TLB miss ratio (per unshielded request)
+	TStalled  float64 // average cycles queued for a port, per unshielded request
+	TTLBHit   float64 // average extra hit latency beyond the overlapped access
+	TTLBMiss  float64 // average walk cost in cycles
+
+	// Model outputs.
+	TAT         float64 // average translation latency seen by the core (cycles)
+	TPIUntol    float64 // f_MEM * t_AT: time per instruction with no tolerance
+	TPIMeasured float64 // measured time-per-instruction increase vs baseline
+	FTol        float64 // inferred fraction of latency tolerated by the core
+	BaselineCPI float64
+	MeasuredCPI float64
+	RelativeIPC float64 // design IPC / baseline IPC (the figures' metric)
+}
+
+// Analyze fits the model. base must be a run of the same program on a
+// translation device with enough bandwidth that it never constrains the
+// core (T4 in the paper); dev is the design under analysis.
+func Analyze(design, workload string, base, dev RunStats, walkLatency float64) Report {
+	r := Report{Design: design, Workload: workload}
+
+	insts := float64(dev.CPU.Committed)
+	if insts == 0 {
+		return r
+	}
+	refs := float64(dev.CPU.CommittedLoads + dev.CPU.CommittedStores)
+	r.FMem = refs / insts
+
+	lookups := float64(dev.TLB.Lookups)
+	if lookups > 0 {
+		shielded := float64(dev.TLB.ShieldHits + dev.TLB.Piggybacks)
+		r.FShielded = shielded / lookups
+		unshielded := lookups - shielded
+		if unshielded > 0 {
+			r.MTLB = float64(dev.TLB.Misses) / unshielded
+			// Port-queueing latency: rejected-and-retried requests
+			// spend one cycle per rejection; multi-level/pretranslation
+			// designs also report explicit queue cycles.
+			r.TStalled = (float64(dev.TLB.NoPorts) + float64(dev.TLB.QueueCycles)) / unshielded
+			// Extra hit latency beyond queueing (the L1-miss/base-
+			// access structural penalty); devices accumulate it in
+			// ExtraCycles, which includes the queueing component.
+			extra := float64(dev.TLB.ExtraCycles) - float64(dev.TLB.QueueCycles)
+			if extra > 0 {
+				r.TTLBHit = extra / unshielded
+			}
+		}
+	}
+	r.TTLBMiss = walkLatency
+
+	r.TAT = (1 - r.FShielded) * (r.TStalled + r.TTLBHit + r.MTLB*r.TTLBMiss)
+	r.TPIUntol = r.FMem * r.TAT
+
+	if base.CPU.Committed > 0 && dev.CPU.Committed > 0 {
+		r.BaselineCPI = float64(base.CPU.Cycles) / float64(base.CPU.Committed)
+		r.MeasuredCPI = float64(dev.CPU.Cycles) / float64(dev.CPU.Committed)
+		r.TPIMeasured = r.MeasuredCPI - r.BaselineCPI
+		if r.MeasuredCPI > 0 {
+			r.RelativeIPC = r.BaselineCPI / r.MeasuredCPI
+		}
+		if r.TPIUntol > 0 {
+			r.FTol = 1 - r.TPIMeasured/r.TPIUntol
+			if r.FTol < 0 {
+				r.FTol = 0
+			}
+			if r.FTol > 1 {
+				r.FTol = 1
+			}
+		}
+	}
+	return r
+}
+
+// Render writes the report in the paper's vocabulary.
+func (r Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "Section 2 model fit: %s on %s\n", r.Design, r.Workload)
+	fmt.Fprintf(w, "  f_MEM       %7.4f   (memory refs per instruction)\n", r.FMem)
+	fmt.Fprintf(w, "  f_shielded  %7.4f   (requests absorbed before the base TLB)\n", r.FShielded)
+	fmt.Fprintf(w, "  t_stalled   %7.4f   (avg cycles queued for a port)\n", r.TStalled)
+	fmt.Fprintf(w, "  t_TLBhit+   %7.4f   (avg extra hit latency)\n", r.TTLBHit)
+	fmt.Fprintf(w, "  M_TLB       %7.4f   (base-TLB miss ratio)\n", r.MTLB)
+	fmt.Fprintf(w, "  t_TLBmiss   %7.1f   (walk latency, cycles)\n", r.TTLBMiss)
+	fmt.Fprintf(w, "  t_AT        %7.4f   (avg translation latency seen by the core)\n", r.TAT)
+	fmt.Fprintf(w, "  TPI untol.  %7.4f   (f_MEM * t_AT: cycles/inst if untolerated)\n", r.TPIUntol)
+	fmt.Fprintf(w, "  TPI meas.   %7.4f   (measured CPI increase vs baseline)\n", r.TPIMeasured)
+	fmt.Fprintf(w, "  f_TOL       %7.4f   (inferred latency tolerance of the core)\n", r.FTol)
+	fmt.Fprintf(w, "  IPC vs base %7.4f\n", r.RelativeIPC)
+}

@@ -1,0 +1,106 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"hbat/internal/cpu"
+	"hbat/internal/prog"
+	"hbat/internal/workload"
+)
+
+func run(t *testing.T, design string) RunStats {
+	t.Helper()
+	w, err := workload.ByName("xlisp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Build(prog.Budget32, workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cpu.NewWithDesign(p, cpu.DefaultConfig(), design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return RunStats{CPU: *m.Stats(), TLB: *m.DTLB.Stats()}
+}
+
+func TestAnalyzeMultilevel(t *testing.T) {
+	base := run(t, "T4")
+	dev := run(t, "M8")
+	rep := Analyze("M8", "xlisp", base, dev, 30)
+
+	if rep.FMem <= 0 || rep.FMem > 1 {
+		t.Fatalf("f_MEM = %f", rep.FMem)
+	}
+	// An 8-entry LRU L1 shields the vast majority of requests
+	// (Figure 6: the run-time weighted 8-entry miss rate is ~5-10%).
+	if rep.FShielded < 0.7 {
+		t.Fatalf("f_shielded = %f, expected substantial shielding", rep.FShielded)
+	}
+	if rep.MTLB < 0 || rep.MTLB > 1 {
+		t.Fatalf("M_TLB = %f", rep.MTLB)
+	}
+	if rep.TAT < 0 {
+		t.Fatalf("t_AT = %f", rep.TAT)
+	}
+	if rep.FTol < 0 || rep.FTol > 1 {
+		t.Fatalf("f_TOL = %f", rep.FTol)
+	}
+	if rep.RelativeIPC <= 0 || rep.RelativeIPC > 1.2 {
+		t.Fatalf("relative IPC = %f", rep.RelativeIPC)
+	}
+}
+
+func TestAnalyzeUnshieldedDesign(t *testing.T) {
+	base := run(t, "T4")
+	dev := run(t, "T1")
+	rep := Analyze("T1", "xlisp", base, dev, 30)
+	if rep.FShielded != 0 {
+		t.Fatalf("T1 has no shielding, f_shielded = %f", rep.FShielded)
+	}
+	// Port starvation must show up as stall latency.
+	if rep.TStalled <= 0 {
+		t.Fatalf("T1 t_stalled = %f, expected queueing", rep.TStalled)
+	}
+	// T1 must be measurably slower than T4.
+	if rep.TPIMeasured <= 0 {
+		t.Fatalf("measured TPI delta = %f", rep.TPIMeasured)
+	}
+}
+
+func TestAnalyzeBaselineAgainstItself(t *testing.T) {
+	base := run(t, "T4")
+	rep := Analyze("T4", "xlisp", base, base, 30)
+	if rep.TPIMeasured != 0 {
+		t.Fatalf("self-comparison TPI delta = %f", rep.TPIMeasured)
+	}
+	if rep.RelativeIPC != 1 {
+		t.Fatalf("self-comparison relative IPC = %f", rep.RelativeIPC)
+	}
+}
+
+func TestAnalyzeEmptyStats(t *testing.T) {
+	rep := Analyze("X", "y", RunStats{}, RunStats{}, 30)
+	if rep.FMem != 0 || rep.TAT != 0 {
+		t.Fatalf("empty stats produced %+v", rep)
+	}
+}
+
+func TestRender(t *testing.T) {
+	base := run(t, "T4")
+	dev := run(t, "P8")
+	rep := Analyze("P8", "xlisp", base, dev, 30)
+	var sb strings.Builder
+	rep.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"f_MEM", "f_shielded", "t_AT", "f_TOL", "P8", "xlisp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

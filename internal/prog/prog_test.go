@@ -1,0 +1,237 @@
+package prog
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"hbat/internal/isa"
+)
+
+func TestLabelsResolve(t *testing.T) {
+	b := NewBuilder("labels")
+	v := b.IVar("v")
+	b.Li(v, 3)
+	b.Label("loop")
+	b.Addi(v, v, -1)
+	b.Bgtz(v, "loop")
+	b.Halt()
+	p, err := b.Finalize(Budget32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br *isa.Inst
+	var brPC uint64
+	for i := range p.Code {
+		if p.Code[i].Op == isa.Bgtz {
+			br = &p.Code[i]
+			brPC = CodeBase + uint64(i)*isa.InstBytes
+		}
+	}
+	if br == nil {
+		t.Fatal("no branch emitted")
+	}
+	if br.Target != brPC-isa.InstBytes {
+		t.Fatalf("branch target 0x%x, want 0x%x (the addi)", br.Target, brPC-isa.InstBytes)
+	}
+}
+
+func TestUndefinedLabelFails(t *testing.T) {
+	b := NewBuilder("bad")
+	b.J("nowhere")
+	b.Halt()
+	if _, err := b.Finalize(Budget32); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestDuplicateLabelFails(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Finalize(Budget32); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}
+
+func TestAllocAlignmentAndSymbols(t *testing.T) {
+	b := NewBuilder("alloc")
+	a1 := b.Alloc("a", 10, 8)
+	a2 := b.Alloc("b", 100, 64)
+	if a1%8 != 0 || a2%64 != 0 {
+		t.Fatalf("misaligned: %#x %#x", a1, a2)
+	}
+	if a2 < a1+10 {
+		t.Fatal("allocations overlap")
+	}
+	if b.Addr("a") != a1 || b.Addr("b") != a2 {
+		t.Fatal("symbol table wrong")
+	}
+}
+
+func TestLiRanges(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 32767, -32768, 32768, 0x12345678, 0xFFFFFFFF} {
+		b := NewBuilder("li")
+		r := b.IVar("r")
+		b.Li(r, v)
+		b.Halt()
+		p, err := b.Finalize(Budget32)
+		if err != nil {
+			t.Fatalf("Li(%d): %v", v, err)
+		}
+		// Execute by hand through ALUEval.
+		var regs [isa.NumRegs]uint64
+		for i := range p.Code {
+			in := &p.Code[i]
+			if in.Op == isa.Halt {
+				break
+			}
+			regs[in.Rd] = isa.ALUEval(in, regs[in.Rs], regs[in.Rt], 0)
+		}
+		want := uint64(v)
+		if v < 0 {
+			want = uint64(v) // sign-extended
+		}
+		// Find which physical register got the value: first inst dest.
+		got := regs[p.Code[0].Rd]
+		if got != want {
+			t.Errorf("Li(%d) produced %#x, want %#x", v, got, want)
+		}
+	}
+	b := NewBuilder("li-bad")
+	b.Li(b.IVar("r"), 1<<33)
+	b.Halt()
+	if _, err := b.Finalize(Budget32); err == nil {
+		t.Fatal("out-of-range Li accepted")
+	}
+}
+
+func TestJumpTableResolved(t *testing.T) {
+	b := NewBuilder("jt")
+	b.JumpTable("tab", "h0", "h1")
+	b.Nop()
+	b.Label("h0")
+	b.Nop()
+	b.Label("h1")
+	b.Halt()
+	p, err := b.Finalize(Budget32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tab []byte
+	for _, seg := range p.Data {
+		if seg.Addr == DataBase {
+			tab = seg.Bytes
+		}
+	}
+	if tab == nil {
+		t.Fatal("jump table data missing")
+	}
+	h0 := binary.LittleEndian.Uint64(tab)
+	h1 := binary.LittleEndian.Uint64(tab[8:])
+	if h0 != CodeBase+1*isa.InstBytes || h1 != CodeBase+2*isa.InstBytes {
+		t.Fatalf("table = %#x %#x", h0, h1)
+	}
+}
+
+func TestBudget32NoSpills(t *testing.T) {
+	b := NewBuilder("nospill")
+	for i := 0; i < 20; i++ {
+		v := b.IVar(string(rune('a' + i)))
+		b.Li(v, int64(i))
+	}
+	b.Halt()
+	p, err := b.Finalize(Budget32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SpillSlots != 0 {
+		t.Fatalf("spill slots = %d with 20 vars under Budget32", p.SpillSlots)
+	}
+}
+
+func TestBudget8SpillsAndStaysArchitectural(t *testing.T) {
+	b := NewBuilder("spill")
+	vars := make([]isa.Reg, 12)
+	for i := range vars {
+		vars[i] = b.IVar(string(rune('a' + i)))
+		b.Li(vars[i], int64(i*10))
+	}
+	sum := b.IVar("sum")
+	b.Li(sum, 0)
+	for _, v := range vars {
+		b.Add(sum, sum, v)
+	}
+	b.Halt()
+	p, err := b.Finalize(Budget8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SpillSlots == 0 {
+		t.Fatal("no spills with 13 live vars under Budget8")
+	}
+	// Every register named in the final code must be architectural.
+	seen := map[isa.Reg]bool{}
+	var buf [4]isa.Reg
+	for i := range p.Code {
+		in := &p.Code[i]
+		for _, r := range in.Sources(buf[:0]) {
+			seen[r] = true
+		}
+		for _, r := range in.Dests(buf[:0]) {
+			seen[r] = true
+		}
+	}
+	distinct := 0
+	for r := range seen {
+		if r >= 64 {
+			t.Fatalf("virtual register %d leaked into final code", r)
+		}
+		if !r.IsFP() && r != isa.Zero && r != isa.SP && r != isa.GP && r != isa.RA {
+			distinct++
+		}
+	}
+	if distinct > Budget8.Int-structuralInt {
+		t.Fatalf("code uses %d data registers, budget allows %d", distinct, Budget8.Int-structuralInt)
+	}
+}
+
+func TestInstAt(t *testing.T) {
+	b := NewBuilder("instat")
+	b.Nop()
+	b.Halt()
+	p, _ := b.Finalize(Budget32)
+	if p.InstAt(CodeBase) == nil || p.InstAt(CodeBase+4) == nil {
+		t.Fatal("InstAt missed valid PCs")
+	}
+	if p.InstAt(CodeBase+8) != nil || p.InstAt(0) != nil || p.InstAt(CodeBase-4) != nil {
+		t.Fatal("InstAt returned instructions outside text")
+	}
+	if p.CodeEnd() != CodeBase+8 {
+		t.Fatalf("CodeEnd = %#x", p.CodeEnd())
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	b := NewBuilder("dis")
+	v := b.IVar("v")
+	b.Li(v, 3)
+	b.Label("loop")
+	b.Addi(v, v, -1)
+	b.Bgtz(v, "loop")
+	b.Halt()
+	p, err := b.Finalize(Budget32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	p.Disassemble(&sb)
+	out := sb.String()
+	for _, want := range []string{"program dis", "L0:", "bgtz", "# -> L0", "halt", "regions:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hbat/internal/harness"
+	"hbat/internal/workload"
+)
+
+func TestGenerate(t *testing.T) {
+	opts := harness.Options{
+		Scale:     workload.ScaleTest,
+		Seed:      1,
+		Workloads: []string{"espresso", "xlisp"},
+		Designs:   []string{"T4", "T1", "M8"},
+	}
+	var sb strings.Builder
+	if err := Generate(&sb, opts, []string{"fig5"}, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<!DOCTYPE html",
+		"Table 3",
+		"fig5",
+		"<svg",
+		"<rect",
+		"Figure 6",
+		"Section 2 model",
+		"espresso",
+		"f_shielded",
+		"1970-01-01T00:00:00Z",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Three designs, one figure: three bars.
+	if got := strings.Count(out, "<rect"); got != 3 {
+		t.Errorf("bar count = %d, want 3", got)
+	}
+}
+
+func TestGenerateUnknownFigure(t *testing.T) {
+	var sb strings.Builder
+	err := Generate(&sb, harness.Options{Scale: workload.ScaleTest}, []string{"fig99"}, time.Unix(0, 0))
+	if err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestBarColorFamilies(t *testing.T) {
+	if barColor("T4") != barColor("T1") {
+		t.Error("multi-ported family split")
+	}
+	if barColor("M8") == barColor("I4") {
+		t.Error("families share a color")
+	}
+	if barColor("PB2") != barColor("I4/PB") {
+		t.Error("piggybacked family split")
+	}
+}

@@ -1,0 +1,50 @@
+package tlb
+
+// MissRateSim is the functional TLB model behind the paper's Figure 6:
+// a fully-associative TLB of a given size and replacement policy fed a
+// virtual-page reference stream, counting misses. It has no ports or
+// timing — Figure 6 is a pure locality study.
+type MissRateSim struct {
+	bank *Bank
+	tick int64
+
+	Refs   uint64
+	Misses uint64
+}
+
+// NewMissRateSim builds a functional fully-associative TLB model.
+// Following Section 4.3, the paper uses LRU for the 4-16 entry sizes
+// and random replacement for 32-128 entries; ReplacementFor encodes
+// that convention.
+func NewMissRateSim(entries int, repl Replacement, seed uint64) *MissRateSim {
+	return &MissRateSim{bank: NewBank(entries, repl, seed)}
+}
+
+// ReplacementFor returns the replacement policy the paper pairs with a
+// given fully-associative TLB size (Figure 6): LRU up to 16 entries,
+// random from 32 entries up.
+func ReplacementFor(entries int) Replacement {
+	if entries <= 16 {
+		return LRU
+	}
+	return Random
+}
+
+// Ref feeds one data reference's virtual page number.
+func (s *MissRateSim) Ref(vpn uint64) {
+	s.tick++
+	s.Refs++
+	if _, ok := s.bank.Lookup(vpn, s.tick); ok {
+		return
+	}
+	s.Misses++
+	s.bank.Insert(vpn, nil, s.tick)
+}
+
+// MissRate returns misses per reference.
+func (s *MissRateSim) MissRate() float64 {
+	if s.Refs == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Refs)
+}

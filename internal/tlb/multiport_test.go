@@ -1,0 +1,143 @@
+package tlb
+
+import (
+	"testing"
+
+	"hbat/internal/vm"
+)
+
+// fill installs vpn via the device's walk path.
+func fill(t *testing.T, d Device, vpn uint64) {
+	t.Helper()
+	if _, err := d.Fill(vpn, 0); err != nil {
+		t.Fatalf("Fill(%d): %v", vpn, err)
+	}
+}
+
+func TestMultiportedPortLimit(t *testing.T) {
+	as := testAS(t, 4096)
+	d := NewMultiported("T2", as, 128, 2, 0, Random, 1)
+	fill(t, d, 1)
+	fill(t, d, 2)
+	fill(t, d, 3)
+
+	d.BeginCycle(1)
+	for i, want := range []Outcome{Hit, Hit, NoPort, NoPort} {
+		r := d.Lookup(Request{VPN: uint64(i + 1)}, 1)
+		if r.Outcome != want {
+			t.Fatalf("lookup %d: outcome %v, want %v", i, r.Outcome, want)
+		}
+	}
+	// Ports replenish next cycle.
+	d.BeginCycle(2)
+	if r := d.Lookup(Request{VPN: 3}, 2); r.Outcome != Hit {
+		t.Fatalf("next-cycle lookup: %v", r.Outcome)
+	}
+}
+
+func TestMultiportedMissThenFill(t *testing.T) {
+	as := testAS(t, 4096)
+	d := NewMultiported("T1", as, 128, 1, 0, Random, 1)
+	d.BeginCycle(1)
+	if r := d.Lookup(Request{VPN: 42}, 1); r.Outcome != Miss {
+		t.Fatalf("cold lookup: %v, want miss", r.Outcome)
+	}
+	fill(t, d, 42)
+	d.BeginCycle(2)
+	r := d.Lookup(Request{VPN: 42}, 2)
+	if r.Outcome != Hit || r.PTE == nil || r.Extra != 0 {
+		t.Fatalf("post-fill lookup: %+v", r)
+	}
+}
+
+func TestPiggybackSharesInFlightTranslation(t *testing.T) {
+	as := testAS(t, 4096)
+	d := NewMultiported("PB1", as, 128, 1, 3, Random, 1)
+	fill(t, d, 7)
+
+	d.BeginCycle(1)
+	if r := d.Lookup(Request{VPN: 7}, 1); r.Outcome != Hit {
+		t.Fatal("port lookup should hit")
+	}
+	// Same page: piggybacks (no port needed), zero extra latency.
+	for i := 0; i < 3; i++ {
+		r := d.Lookup(Request{VPN: 7}, 1)
+		if r.Outcome != Hit || r.Extra != 0 {
+			t.Fatalf("piggyback %d: %+v", i, r)
+		}
+	}
+	// Piggyback ports exhausted (3 used).
+	if r := d.Lookup(Request{VPN: 7}, 1); r.Outcome != NoPort {
+		t.Fatalf("4th piggyback: %v, want NoPort", r.Outcome)
+	}
+	if got := d.Stats().Piggybacks; got != 3 {
+		t.Fatalf("piggyback count = %d, want 3", got)
+	}
+}
+
+func TestPiggybackDifferentPageGetsNoPort(t *testing.T) {
+	as := testAS(t, 4096)
+	d := NewMultiported("PB1", as, 128, 1, 3, Random, 1)
+	fill(t, d, 7)
+	fill(t, d, 8)
+
+	d.BeginCycle(1)
+	if r := d.Lookup(Request{VPN: 7}, 1); r.Outcome != Hit {
+		t.Fatal("port lookup should hit")
+	}
+	// Different page: cannot piggyback, and the single port is busy.
+	if r := d.Lookup(Request{VPN: 8}, 1); r.Outcome != NoPort {
+		t.Fatalf("different page: %v, want NoPort", r.Outcome)
+	}
+}
+
+func TestPiggybackOnMissSharesTheWalk(t *testing.T) {
+	as := testAS(t, 4096)
+	d := NewMultiported("PB2", as, 128, 2, 2, Random, 1)
+	d.BeginCycle(1)
+	if r := d.Lookup(Request{VPN: 9}, 1); r.Outcome != Miss {
+		t.Fatal("cold lookup should miss")
+	}
+	// Same page while the missing translation is in flight: the
+	// piggybacked request reports the same miss (and shares the walk).
+	if r := d.Lookup(Request{VPN: 9}, 1); r.Outcome != Miss {
+		t.Fatalf("piggyback on miss: %v, want Miss", r.Outcome)
+	}
+	if d.Stats().Piggybacks != 1 {
+		t.Fatalf("piggybacks = %d, want 1", d.Stats().Piggybacks)
+	}
+}
+
+func TestStatusWriteTracking(t *testing.T) {
+	as := testAS(t, 4096)
+	d := NewMultiported("T4", as, 128, 4, 0, Random, 1)
+	fill(t, d, 5)
+
+	d.BeginCycle(1)
+	d.Lookup(Request{VPN: 5}, 1) // first reference sets Ref
+	if got := d.Stats().StatusWrites; got != 1 {
+		t.Fatalf("status writes after first ref = %d, want 1", got)
+	}
+	d.BeginCycle(2)
+	d.Lookup(Request{VPN: 5}, 2) // second read: no change
+	if got := d.Stats().StatusWrites; got != 1 {
+		t.Fatalf("status writes after re-read = %d, want 1", got)
+	}
+	d.BeginCycle(3)
+	d.Lookup(Request{VPN: 5, Write: true}, 3) // first write sets Dirty
+	if got := d.Stats().StatusWrites; got != 2 {
+		t.Fatalf("status writes after first write = %d, want 2", got)
+	}
+	pte, _ := as.Lookup(5)
+	if !pte.Ref || !pte.Dirty {
+		t.Fatalf("PTE status not propagated: %+v", pte)
+	}
+}
+
+func TestFillOutsideRegionsFails(t *testing.T) {
+	as := vm.NewAddressSpace(4096) // no regions
+	d := NewMultiported("T1", as, 128, 1, 0, Random, 1)
+	if _, err := d.Fill(123, 0); err == nil {
+		t.Fatal("Fill of unmapped page succeeded")
+	}
+}

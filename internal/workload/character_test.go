@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"testing"
+
+	"hbat/internal/emu"
+	"hbat/internal/prog"
+	"hbat/internal/tlb"
+)
+
+// character captures the reference traits each synthetic workload is
+// engineered to reproduce from the paper's Table 3 and Figure 6.
+type character struct {
+	loadFracLo, loadFracHi   float64 // loads / instructions
+	storeFracLo, storeFracHi float64 // stores / instructions
+}
+
+// Bands are deliberately generous: the goal is that each program keeps
+// its qualitative identity (memory-light vs memory-heavy, store-heavy,
+// etc.), not a point match.
+var characters = map[string]character{
+	"compress":    {0.10, 0.35, 0.03, 0.20},
+	"doduc":       {0.15, 0.40, 0.05, 0.25},
+	"espresso":    {0.15, 0.40, 0.03, 0.25},
+	"gcc":         {0.15, 0.45, 0.08, 0.30},
+	"ghostscript": {0.01, 0.30, 0.08, 0.35},
+	"mpeg_play":   {0.10, 0.35, 0.05, 0.30},
+	"perl":        {0.15, 0.45, 0.05, 0.30},
+	"tfft":        {0.10, 0.35, 0.05, 0.25},
+	"tomcatv":     {0.15, 0.45, 0.03, 0.20},
+	"xlisp":       {0.20, 0.45, 0.05, 0.25},
+}
+
+func TestWorkloadInstructionMix(t *testing.T) {
+	for _, w := range All() {
+		c, ok := characters[w.Name]
+		if !ok {
+			t.Fatalf("no character defined for %s", w.Name)
+		}
+		p, err := w.Build(prog.Budget32, ScaleTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := emu.New(p, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		lf := float64(m.LoadCount) / float64(m.InstCount)
+		sf := float64(m.StoreCount) / float64(m.InstCount)
+		if lf < c.loadFracLo || lf > c.loadFracHi {
+			t.Errorf("%s: load fraction %.3f outside [%.2f, %.2f]", w.Name, lf, c.loadFracLo, c.loadFracHi)
+		}
+		if sf < c.storeFracLo || sf > c.storeFracHi {
+			t.Errorf("%s: store fraction %.3f outside [%.2f, %.2f]", w.Name, sf, c.storeFracLo, c.storeFracHi)
+		}
+	}
+}
+
+// pageMissRate8 returns the workload's miss rate in an 8-entry LRU TLB
+// (the Figure 6 locality fingerprint).
+func pageMissRate8(t *testing.T, name string) float64 {
+	t.Helper()
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Build(prog.Budget32, ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := emu.New(p, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := tlb.NewMissRateSim(8, tlb.LRU, 1)
+	bits := m.AS.PageBits()
+	m.OnMemRef = func(vaddr uint64, _ bool) { sim.Ref(vaddr >> bits) }
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return sim.MissRate()
+}
+
+// TestLowLocalityTrio asserts the paper's Figure 6 fingerprint: the
+// compress/mpeg_play/tfft trio has notably worse small-TLB locality
+// than each of the high-locality programs.
+func TestLowLocalityTrio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses ScaleSmall streams")
+	}
+	trio := map[string]float64{}
+	for _, n := range []string{"compress", "mpeg_play", "tfft"} {
+		trio[n] = pageMissRate8(t, n)
+	}
+	for _, good := range []string{"doduc", "tomcatv", "ghostscript", "espresso"} {
+		g := pageMissRate8(t, good)
+		for n, bad := range trio {
+			if bad <= g {
+				t.Errorf("%s (%.4f) should miss more than %s (%.4f) in an 8-entry TLB", n, bad, good, g)
+			}
+		}
+	}
+}
+
+// TestDeterminism: identical builds are bit-identical (required for
+// reproducible experiments).
+func TestDeterminism(t *testing.T) {
+	for _, w := range All() {
+		p1, err := w.Build(prog.Budget32, ScaleTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := w.Build(prog.Budget32, ScaleTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p1.Code) != len(p2.Code) {
+			t.Fatalf("%s: nondeterministic code length", w.Name)
+		}
+		for i := range p1.Code {
+			if p1.Code[i] != p2.Code[i] {
+				t.Fatalf("%s: instruction %d differs between builds", w.Name, i)
+			}
+		}
+		if len(p1.Data) != len(p2.Data) {
+			t.Fatalf("%s: nondeterministic data segments", w.Name)
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("%d workloads", len(names))
+	}
+	if names[0] != "compress" || names[9] != "xlisp" {
+		t.Fatalf("order wrong: %v", names)
+	}
+	for _, n := range names {
+		if _, err := ByName(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ByName("quake"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"testing"
+
+	"hbat/internal/emu"
+	"hbat/internal/prog"
+)
+
+// TestAllWorkloadsRunToCompletion functionally executes every workload
+// at test scale under both register budgets and checks that it halts
+// within a sane instruction budget.
+func TestAllWorkloadsRunToCompletion(t *testing.T) {
+	for _, w := range All() {
+		for _, budget := range []prog.RegBudget{prog.Budget32, prog.Budget8} {
+			t.Run(w.Name+"/"+budget.String(), func(t *testing.T) {
+				p, err := w.Build(budget, ScaleTest)
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				m, err := emu.New(p, 4096)
+				if err != nil {
+					t.Fatalf("emu.New: %v", err)
+				}
+				if err := m.Run(40_000_000); err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				t.Logf("insts=%d loads=%d (%.1f%%) stores=%d (%.1f%%) branches=%d spills=%d",
+					m.InstCount, m.LoadCount,
+					100*float64(m.LoadCount)/float64(m.InstCount),
+					m.StoreCount,
+					100*float64(m.StoreCount)/float64(m.InstCount),
+					m.BranchCount, p.SpillSlots)
+			})
+		}
+	}
+}
+
+// TestFewerRegistersIncreasesMemoryTraffic checks the paper's Figure 9
+// premise: recompiling with 8 int / 8 fp registers sharply increases
+// loads and stores for every workload.
+func TestFewerRegistersIncreasesMemoryTraffic(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			p32, err := w.Build(prog.Budget32, ScaleTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p8, err := w.Build(prog.Budget8, ScaleTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p8.SpillSlots == 0 {
+				t.Fatalf("no spill slots under Budget8")
+			}
+			m32, _ := emu.New(p32, 4096)
+			m8, _ := emu.New(p8, 4096)
+			if err := m32.Run(40_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if err := m8.Run(80_000_000); err != nil {
+				t.Fatal(err)
+			}
+			r32 := m32.LoadCount + m32.StoreCount
+			r8 := m8.LoadCount + m8.StoreCount
+			if r8 <= r32 {
+				t.Errorf("Budget8 refs %d not above Budget32 refs %d", r8, r32)
+			}
+			t.Logf("refs: 32-reg %d, 8-reg %d (+%.0f%%)", r32, r8, 100*float64(r8-r32)/float64(r32))
+		})
+	}
+}
