@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench experiments report cover clean
+.PHONY: all build test check bench experiments report cover clean
 
 all: build test
 
@@ -9,6 +9,15 @@ build:
 
 test:
 	go test ./...
+
+# The CI gate: vet, the race-enabled test suite (which includes the
+# lockstep differential, cross-design equivalence, and golden-file
+# tests), and a gofmt check. Golden fixtures are regenerated with
+# `go test ./internal/harness/ ./internal/report/ -run TestGolden -update`.
+check:
+	go vet ./...
+	test -z "$$(gofmt -l .)" || { gofmt -l .; echo 'gofmt: files need formatting'; exit 1; }
+	go test -race ./...
 
 # One iteration of every benchmark (tables, figures, ablations).
 bench:

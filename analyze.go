@@ -1,6 +1,7 @@
 package hbat
 
 import (
+	"fmt"
 	"io"
 
 	"hbat/internal/cpu"
@@ -14,11 +15,20 @@ import (
 // plus the inferred latency tolerance f_TOL of the core.
 type ModelReport = model.Report
 
+// Analysis is Analyze's result: the fitted Section 2 model plus the
+// analyzed run's full metrics snapshot (the stats-registry export with
+// queue-depth and translation-latency distributions, replay and squash
+// counts, and stall causes).
+type Analysis struct {
+	ModelReport
+	Metrics MetricsSnapshot
+}
+
 // Analyze runs the requested simulation and a four-ported-TLB baseline
 // of the same program, then fits the paper's Section 2 model: how much
 // translation latency the design exposes (t_AT), how much of it the
 // core tolerates (f_TOL), and the resulting time-per-instruction cost.
-func Analyze(o Options) (*ModelReport, error) {
+func Analyze(o Options) (*Analysis, error) {
 	spec, err := o.spec()
 	if err != nil {
 		return nil, err
@@ -37,8 +47,25 @@ func Analyze(o Options) (*ModelReport, error) {
 		model.RunStats{CPU: base.Stats, TLB: base.TLB},
 		model.RunStats{CPU: dev.Stats, TLB: dev.TLB},
 		float64(cpu.DefaultConfig().TLBMissLatency))
-	return &rep, nil
+	return &Analysis{ModelReport: rep, Metrics: dev.Metrics}, nil
 }
 
-// RenderAnalysis writes a fitted model report in the paper's notation.
-func RenderAnalysis(w io.Writer, rep *ModelReport) { rep.Render(w) }
+// RenderAnalysis writes a fitted model report in the paper's notation,
+// followed by the analyzed run's metrics export.
+func RenderAnalysis(w io.Writer, a *Analysis) {
+	a.Render(w)
+	if len(a.Metrics) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nRun metrics (%s on %s):\n", a.Design, a.Workload)
+	for _, m := range a.Metrics {
+		switch m.Kind {
+		case "counter":
+			fmt.Fprintf(w, "  %-34s %12d\n", m.Name, m.Value)
+		case "gauge":
+			fmt.Fprintf(w, "  %-34s %12d  (max %d)\n", m.Name, m.Level, m.Max)
+		default:
+			fmt.Fprintf(w, "  %-34s n=%d mean=%.2f max=%d\n", m.Name, m.Count, m.Mean, m.Max)
+		}
+	}
+}

@@ -4,7 +4,9 @@
 // Usage:
 //
 //	hbat [-workload compress] [-design T4] [-pagesize 4096] [-inorder]
-//	     [-fewregs] [-scale small] [-seed 1] [-maxinsts N]
+//	     [-fewregs] [-scale small] [-seed 1] [-maxinsts N] [-lockstep]
+//	     [-metrics out.json] [-metrics-csv out.csv]
+//	     [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //	hbat -list
 //	hbat -dump-config
 package main
@@ -13,30 +15,56 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"hbat"
 )
 
-func main() {
+// writeMetrics exports a run's metrics snapshot as JSON or CSV ("-"
+// means stdout).
+func writeMetrics(path string, csv bool, snap hbat.MetricsSnapshot) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if csv {
+		return snap.WriteCSV(out)
+	}
+	return snap.WriteJSON(out)
+}
+
+func run() error {
 	var (
-		wl       = flag.String("workload", "compress", "workload name (see -list)")
-		design   = flag.String("design", "T4", "translation design mnemonic (see -list)")
-		pageSize = flag.Uint64("pagesize", 4096, "virtual-memory page size in bytes")
-		inOrder  = flag.Bool("inorder", false, "use the in-order issue model")
-		fewRegs  = flag.Bool("fewregs", false, "compile the workload for 8 int / 8 fp registers")
-		scale    = flag.String("scale", "small", "workload scale: test, small, or full")
-		seed     = flag.Uint64("seed", 1, "seed for randomized structures")
-		maxInsts = flag.Uint64("maxinsts", 0, "cap on committed instructions (0 = to completion)")
-		list     = flag.Bool("list", false, "list workloads and designs, then exit")
-		dumpCfg  = flag.Bool("dump-config", false, "print the Table 1 baseline configuration, then exit")
-		analyze  = flag.Bool("analyze", false, "fit the paper's Section 2 performance model (runs the design and a T4 baseline)")
-		disasm   = flag.Bool("disasm", false, "print the workload's generated code instead of simulating")
+		wl         = flag.String("workload", "compress", "workload name (see -list)")
+		design     = flag.String("design", "T4", "translation design mnemonic (see -list)")
+		pageSize   = flag.Uint64("pagesize", 4096, "virtual-memory page size in bytes")
+		inOrder    = flag.Bool("inorder", false, "use the in-order issue model")
+		fewRegs    = flag.Bool("fewregs", false, "compile the workload for 8 int / 8 fp registers")
+		scale      = flag.String("scale", "small", "workload scale: test, small, or full")
+		seed       = flag.Uint64("seed", 1, "seed for randomized structures")
+		maxInsts   = flag.Uint64("maxinsts", 0, "cap on committed instructions (0 = to completion)")
+		lockstep   = flag.Bool("lockstep", false, "verify every commit against the golden emulator (differential check)")
+		metrics    = flag.String("metrics", "", "write the run's metrics registry as JSON to this file (\"-\" = stdout)")
+		metricsCSV = flag.String("metrics-csv", "", "write the run's metrics registry as CSV to this file (\"-\" = stdout)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile after the simulation to this file")
+		list       = flag.Bool("list", false, "list workloads and designs, then exit")
+		dumpCfg    = flag.Bool("dump-config", false, "print the Table 1 baseline configuration, then exit")
+		analyze    = flag.Bool("analyze", false, "fit the paper's Section 2 performance model (runs the design and a T4 baseline)")
+		disasm     = flag.Bool("disasm", false, "print the workload's generated code instead of simulating")
 	)
 	flag.Parse()
 
 	if *dumpCfg {
 		fmt.Println(hbat.BaselineConfig())
-		return
+		return nil
 	}
 	if *list {
 		fmt.Println("workloads:")
@@ -49,8 +77,35 @@ func main() {
 			desc, _ := hbat.DesignDescription(d)
 			fmt.Printf("  %-6s %s\n", d, desc)
 		}
-		return
+		return nil
 	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbat:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hbat:", err)
+		}
+	}()
 
 	opts := hbat.Options{
 		Workload:     *wl,
@@ -61,40 +116,29 @@ func main() {
 		Scale:        *scale,
 		Seed:         *seed,
 		MaxInsts:     *maxInsts,
+		Lockstep:     *lockstep,
 	}
 	if *disasm {
-		if err := hbat.Disassemble(*wl, *scale, *fewRegs, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "hbat:", err)
-			os.Exit(1)
-		}
-		return
+		return hbat.Disassemble(*wl, *scale, *fewRegs, os.Stdout)
 	}
 	if *analyze {
 		rep, err := hbat.Analyze(opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "hbat:", err)
-			os.Exit(1)
+			return err
 		}
 		hbat.RenderAnalysis(os.Stdout, rep)
-		return
+		return exportMetrics(*metrics, *metricsCSV, rep.Metrics)
 	}
 
-	res, err := hbat.Simulate(hbat.Options{
-		Workload:     *wl,
-		Design:       *design,
-		PageSize:     *pageSize,
-		InOrder:      *inOrder,
-		FewRegisters: *fewRegs,
-		Scale:        *scale,
-		Seed:         *seed,
-		MaxInsts:     *maxInsts,
-	})
+	res, err := hbat.Simulate(opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hbat:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("workload       %s\n", res.Workload)
 	fmt.Printf("design         %s\n", res.Design)
+	if *lockstep {
+		fmt.Printf("lockstep       verified %d commits against the emulator\n", res.Instructions)
+	}
 	fmt.Printf("cycles         %d\n", res.Cycles)
 	fmt.Printf("instructions   %d (%d loads, %d stores)\n", res.Instructions, res.Loads, res.Stores)
 	fmt.Printf("IPC            %.3f committed, %.3f issued\n", res.IPC, res.IssueIPC)
@@ -106,4 +150,33 @@ func main() {
 		res.ShieldHits, res.Piggybacks, res.StatusWrites)
 	fmt.Printf("stalls         fetch %d, dispatch: tlb-miss %d, rob-full %d, lsq-full %d (cycles)\n",
 		res.FetchStallCycles, res.DispatchTLBStalls, res.DispatchROBFull, res.DispatchLSQFull)
+	return exportMetrics(*metrics, *metricsCSV, res.Metrics)
+}
+
+// exportMetrics honors the -metrics / -metrics-csv flags.
+func exportMetrics(jsonPath, csvPath string, snap hbat.MetricsSnapshot) error {
+	if jsonPath != "" {
+		if err := writeMetrics(jsonPath, false, snap); err != nil {
+			return err
+		}
+		if jsonPath != "-" {
+			fmt.Printf("metrics        %s\n", jsonPath)
+		}
+	}
+	if csvPath != "" {
+		if err := writeMetrics(csvPath, true, snap); err != nil {
+			return err
+		}
+		if csvPath != "-" && !strings.EqualFold(jsonPath, csvPath) {
+			fmt.Printf("metrics-csv    %s\n", csvPath)
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hbat:", err)
+		os.Exit(1)
+	}
 }

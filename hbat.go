@@ -20,6 +20,7 @@ import (
 	"hbat/internal/cpu"
 	"hbat/internal/harness"
 	"hbat/internal/prog"
+	"hbat/internal/stats"
 	"hbat/internal/tlb"
 	"hbat/internal/workload"
 )
@@ -52,7 +53,16 @@ type Options struct {
 	// MaxInsts optionally caps committed instructions (0 = run to
 	// completion).
 	MaxInsts uint64
+	// Lockstep runs the golden-model differential checker alongside the
+	// pipeline: any divergence of architected state from the functional
+	// emulator is returned as an error instead of skewing statistics.
+	Lockstep bool
 }
+
+// MetricsSnapshot is a point-in-time export of a run's metrics registry
+// (counters, gauges, and histograms; see internal/stats). It marshals
+// to stable JSON and CSV via WriteJSON and WriteCSV.
+type MetricsSnapshot = stats.Snapshot
 
 // Result reports one simulation.
 type Result struct {
@@ -83,6 +93,11 @@ type Result struct {
 	DispatchTLBStalls int64
 	DispatchROBFull   int64
 	DispatchLSQFull   int64
+
+	// Metrics is the run's full metrics-registry export: queue-depth
+	// and translation-latency distributions, replay and squash counts,
+	// and per-cause stall cycles.
+	Metrics MetricsSnapshot
 }
 
 func parseScale(s string) (workload.Scale, error) {
@@ -126,6 +141,7 @@ func (o Options) spec() (harness.RunSpec, error) {
 	}
 	spec.VirtualCache = o.VirtualCache
 	spec.ContextSwitchEvery = o.ContextSwitchEvery
+	spec.Lockstep = o.Lockstep
 	return spec, nil
 }
 
@@ -163,6 +179,8 @@ func Simulate(o Options) (*Result, error) {
 		DispatchTLBStalls: r.Stats.DispatchTLBStalls,
 		DispatchROBFull:   r.Stats.DispatchROBFull,
 		DispatchLSQFull:   r.Stats.DispatchLSQFull,
+
+		Metrics: r.Metrics,
 	}, nil
 }
 

@@ -35,6 +35,11 @@ type Stats struct {
 	Misses     uint64
 	Writebacks uint64
 	PortStalls uint64
+
+	// PortUse[i] counts completed cycles during which exactly i ports
+	// were claimed (the last bucket collects higher use). Only ported
+	// caches record it; the fetch side uses AccessUnported.
+	PortUse [9]uint64
 }
 
 // MissRate returns misses per access.
@@ -98,8 +103,16 @@ func New(cfg Config) *Cache {
 // BlockBytes returns the cache's block size.
 func (c *Cache) BlockBytes() int { return c.cfg.BlockBytes }
 
-// BeginCycle resets the per-cycle port counter.
+// BeginCycle resets the per-cycle port counter, closing out the
+// previous cycle's port-use sample.
 func (c *Cache) BeginCycle(now int64) {
+	if c.cycle > 0 && c.cfg.Ports > 0 {
+		i := c.portsUsed
+		if i >= len(c.stats.PortUse) {
+			i = len(c.stats.PortUse) - 1
+		}
+		c.stats.PortUse[i]++
+	}
 	c.cycle = now
 	c.portsUsed = 0
 }

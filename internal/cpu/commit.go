@@ -29,6 +29,12 @@ func (m *Machine) commit() {
 			return
 		}
 		if e.inst.Op == isa.Halt {
+			if m.testCommitHook != nil {
+				m.testCommitHook(m, e)
+			}
+			if m.lockstep != nil && !m.lockstepCheck(e) {
+				return
+			}
 			m.stats.Committed++
 			m.halted = true
 			m.lastCommitCycle = m.cycle
@@ -46,6 +52,7 @@ func (m *Machine) commit() {
 				cacheAddr = e.effAddr
 			}
 			if _, ok := m.dcache.Access(cacheAddr, true, m.cycle); !ok {
+				m.metrics.commitStoreRetry.Inc()
 				return // retry next cycle
 			}
 			m.writeMem(e.paddr, e.memWidth, e.storeVal)
@@ -63,6 +70,17 @@ func (m *Machine) commit() {
 
 		if m.tracker != nil {
 			m.trackRegisters(e)
+		}
+
+		// The entry's architected effects are all applied; check them
+		// against the golden emulator before retiring the entry. The
+		// test hook runs first so negative tests can corrupt the state
+		// the checker is about to inspect.
+		if m.testCommitHook != nil {
+			m.testCommitHook(m, e)
+		}
+		if m.lockstep != nil && !m.lockstepCheck(e) {
+			return
 		}
 
 		m.stats.Committed++

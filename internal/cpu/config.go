@@ -88,6 +88,15 @@ type Config struct {
 	// trends the paper's introduction motivates the designs with).
 	FlushTLBEvery uint64
 
+	// Lockstep runs the untimed golden emulator (internal/emu) in
+	// commit-order lockstep with the pipeline: at every commit the
+	// architected register file, the committed PC, and committed store
+	// values are compared, and Run returns a *DivergenceError decoding
+	// the first mismatch with a context window of recent commits.
+	// Translation designs may only change timing, never architecture,
+	// so the checker holds for every Table 2 device and Config switch.
+	Lockstep bool
+
 	// Run limits.
 	MaxInsts  uint64 // committed-instruction budget (0 = until Halt)
 	MaxCycles int64  // safety limit (0 = none)

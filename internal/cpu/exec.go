@@ -379,6 +379,8 @@ func (m *Machine) memRequest(idx int, e *robEntry) {
 	switch res.Outcome {
 	case tlb.NoPort:
 		m.stats.TLBRetries++
+		m.metrics.replayTLBNoPort.Inc()
+		m.metrics.noPortThisCycle++
 		return
 	case tlb.Miss:
 		e.state = sMemWalk
@@ -389,6 +391,7 @@ func (m *Machine) memRequest(idx int, e *robEntry) {
 		}
 		return
 	}
+	m.metrics.transExtra.Observe(res.Extra)
 
 	pte := res.PTE
 	need := vm.PermRead
@@ -428,6 +431,7 @@ func (m *Machine) memRequest(idx int, e *robEntry) {
 		// Partially overlapping older store: wait for it to commit.
 		// Re-requesting next cycle re-translates, which is what a
 		// replayed access does.
+		m.metrics.replayStoreWait.Inc()
 		return
 	}
 	var extraCache int64
@@ -435,6 +439,7 @@ func (m *Machine) memRequest(idx int, e *robEntry) {
 		var ok bool
 		extraCache, ok = m.dcache.Access(e.paddr, false, m.cycle)
 		if !ok {
+			m.metrics.replayCachePort.Inc()
 			return // no data-cache port; retry next cycle
 		}
 		fwdVal = m.readMem(e.paddr, e.memWidth)
@@ -459,6 +464,7 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 	if e.isLoad {
 		fwdVal, fwdOK, mustWait := m.forwardFromStore(idx, e)
 		if mustWait {
+			m.metrics.replayStoreWait.Inc()
 			return
 		}
 		if fwdOK {
@@ -499,6 +505,7 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 			}
 			extraC, ok := m.dcache.Access(e.effAddr, false, m.cycle)
 			if !ok {
+				m.metrics.replayCachePort.Inc()
 				return // no port; retry
 			}
 			done := m.cycle + 1 + extraC
@@ -528,6 +535,8 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 	switch res.Outcome {
 	case tlb.NoPort:
 		m.stats.TLBRetries++
+		m.metrics.replayTLBNoPort.Inc()
+		m.metrics.noPortThisCycle++
 		return
 	case tlb.Miss:
 		e.state = sMemWalk
@@ -538,6 +547,7 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 		}
 		return
 	}
+	m.metrics.transExtra.Observe(res.Extra)
 	pte := res.PTE
 	need := vm.PermRead
 	if e.isStore {
@@ -564,6 +574,7 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 	}
 	extraC, ok := m.dcache.Access(e.effAddr, false, m.cycle)
 	if !ok {
+		m.metrics.replayCachePort.Inc()
 		return
 	}
 	done := m.cycle + 1 + res.Extra + extraC
@@ -661,6 +672,8 @@ func (m *Machine) resolveControl(idx int, e *robEntry) {
 func (m *Machine) recover(idx int, e *robEntry) {
 	n := m.rob.squashAfter(idx)
 	m.stats.Squashed += uint64(n)
+	m.metrics.squashRecoveries.Inc()
+	m.metrics.squashedInsts.Add(uint64(n))
 
 	for r := range m.rename {
 		m.rename[r] = -1
@@ -701,5 +714,6 @@ func (m *Machine) recover(idx int, e *robEntry) {
 	stall := m.cycle + m.pred.MispredictPenalty() - 1
 	if stall > m.fetchStallUntil {
 		m.fetchStallUntil = stall
+		m.fetchStallCause = stallRedirect
 	}
 }

@@ -16,9 +16,11 @@ func (m *Machine) fetch() {
 	}
 	if m.cycle < m.fetchStallUntil {
 		m.stats.FetchStallCycles++
+		m.countFetchStall()
 		return
 	}
 	if m.fetchQLen() >= m.cfg.FetchQueue {
+		m.metrics.stallQueueFull.Inc()
 		return
 	}
 	blockMask := uint64(m.icache.BlockBytes() - 1)
@@ -50,20 +52,24 @@ func (m *Machine) fetch() {
 						// Wrong-path fetch outside any region: treat as
 						// unmapped; the bogus path will be squashed.
 						m.fetchStallUntil = m.cycle + m.cfg.ITLBRefillLatency
+						m.fetchStallCause = stallITLBMiss
 						m.itlb.Insert(vpn, nil, m.cycle)
 						return
 					}
 					m.itlb.Insert(vpn, nil, m.cycle)
 					m.fetchStallUntil = m.cycle + m.cfg.TLBMissLatency
+					m.fetchStallCause = stallITLBMiss
 					return
 				default:
 					m.itlb.Insert(vpn, nil, m.cycle)
 					m.fetchStallUntil = m.cycle + m.cfg.ITLBRefillLatency + res.Extra
+					m.fetchStallCause = stallITLBMiss
 					return
 				}
 			}
 			m.itlb.Insert(vpn, nil, m.cycle)
 			m.fetchStallUntil = m.cycle + m.cfg.ITLBRefillLatency
+			m.fetchStallCause = stallITLBMiss
 			return
 		}
 	}
@@ -71,6 +77,7 @@ func (m *Machine) fetch() {
 	// One I-cache block access per fetch cycle.
 	if extra := m.icache.AccessUnported(m.fetchPaddr(m.fetchPC), false, m.cycle); extra > 0 {
 		m.fetchStallUntil = m.cycle + extra
+		m.fetchStallCause = stallICacheMiss
 		return
 	}
 

@@ -24,12 +24,36 @@ func (r *randProgRNG) next() uint64 {
 
 func (r *randProgRNG) intn(n int) int { return int(r.next() % uint64(n)) }
 
+// Generator flavors: each biases the opcode mix toward one class of
+// pipeline hazard. The fuzz corpus seeds one entry per flavor.
+const (
+	flavorMixed   uint8 = iota // uniform mix (the original distribution)
+	flavorMem                  // load/store heavy: store-forwarding and port pressure
+	flavorBranchy              // branch heavy: wrong-path fetch and squash recovery
+)
+
+// opMix returns the op-case lottery for a flavor; duplicated entries
+// raise that case's probability.
+func opMix(flavor uint8) []int {
+	mixed := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	switch flavor {
+	case flavorMem:
+		return append(mixed, 6, 7, 7, 8, 8, 8, 9, 7)
+	case flavorBranchy:
+		return append(mixed, 11, 11, 11, 0, 11)
+	}
+	return mixed
+}
+
 // genRandomProgram builds a random but well-formed program: arithmetic
 // over a handful of registers, loads and stores confined to a private
 // buffer, forward (data-dependent) branches, and post-increment walks
-// that stay in bounds. Every generated program halts.
-func genRandomProgram(seed uint64, nInsts int) (*prog.Program, error) {
+// that stay in bounds. Every generated program halts. Under
+// prog.Budget8 the allocator adds spill/reload traffic around the same
+// instruction stream, which is exactly the paper's Figure 9 pressure.
+func genRandomProgram(seed uint64, nInsts int, budget prog.RegBudget, flavor uint8) (*prog.Program, error) {
 	r := randProgRNG(seed | 1)
+	mix := opMix(flavor)
 	b := prog.NewBuilder(fmt.Sprintf("fuzz%d", seed))
 	const bufWords = 512
 	b.Alloc("buf", bufWords*8, 8)
@@ -72,7 +96,7 @@ func genRandomProgram(seed uint64, nInsts int) (*prog.Program, error) {
 			b.Bgtz(loopCounter, loopLabel)
 			inLoop = false
 		}
-		switch r.intn(12) {
+		switch mix[r.intn(len(mix))] {
 		case 0:
 			b.Add(pick(), pick(), pick())
 		case 1:
@@ -133,7 +157,7 @@ func genRandomProgram(seed uint64, nInsts int) (*prog.Program, error) {
 		b.Sd(reg, out, int32(8*i))
 	}
 	b.Halt()
-	return b.Finalize(prog.Budget32)
+	return b.Finalize(budget)
 }
 
 // regAnd emits a masked index: t = reg & mask (word-aligned, in range).
@@ -160,7 +184,7 @@ func TestRandomProgramsDifferential(t *testing.T) {
 		s := s
 		t.Run(fmt.Sprintf("seed%d", s), func(t *testing.T) {
 			t.Parallel()
-			p, err := genRandomProgram(uint64(s)*2654435761+17, 150)
+			p, err := genRandomProgram(uint64(s)*2654435761+17, 150, prog.Budget32, uint8(s)%3)
 			if err != nil {
 				t.Fatalf("gen: %v", err)
 			}
@@ -195,14 +219,21 @@ func TestRandomProgramsDifferential(t *testing.T) {
 				}
 			}
 
+			// Every machine also runs the lockstep checker, so a
+			// divergence is caught at the offending commit (with a
+			// decoded context window) instead of at the final-state
+			// comparison below.
 			design := designs[s%len(designs)]
-			m, err := NewWithDesign(p, DefaultConfig(), design)
+			cfg := DefaultConfig()
+			cfg.Lockstep = true
+			m, err := NewWithDesign(p, cfg, design)
 			if err != nil {
 				t.Fatal(err)
 			}
 			check(design, m)
 
-			cfg := DefaultConfig()
+			cfg = DefaultConfig()
+			cfg.Lockstep = true
 			cfg.InOrder = true
 			mi, err := NewWithDesign(p, cfg, design)
 			if err != nil {
@@ -211,6 +242,7 @@ func TestRandomProgramsDifferential(t *testing.T) {
 			check(design+"/inorder", mi)
 
 			cfg = DefaultConfig()
+			cfg.Lockstep = true
 			cfg.VirtualCache = true
 			mv, err := NewWithDesign(p, cfg, design)
 			if err != nil {
@@ -219,4 +251,47 @@ func TestRandomProgramsDifferential(t *testing.T) {
 			check(design+"/vcache", mv)
 		})
 	}
+}
+
+// FuzzLockstep feeds generated programs through the timed pipeline with
+// the lockstep differential checker enabled: every commit is compared
+// against the golden emulator, so any divergence the fuzzer provokes is
+// reported at the exact instruction, not as a garbled final state. The
+// seed corpus pins the three hazard classes the checker exists for:
+// store-forwarding pressure, wrong-path squash recovery, and the 8/8
+// register budget's spill/reload traffic.
+func FuzzLockstep(f *testing.F) {
+	// seed, length, design index, flavor, flags (1=Budget8, 2=inorder, 4=vcache)
+	f.Add(uint64(17), uint16(150), uint8(0), flavorMixed, uint8(0))
+	f.Add(uint64(4242), uint16(220), uint8(1), flavorMem, uint8(0))     // store-forwarding heavy on a 1-port TLB
+	f.Add(uint64(907), uint16(220), uint8(2), flavorBranchy, uint8(0))  // squash heavy on the multi-level TLB
+	f.Add(uint64(1251), uint16(180), uint8(3), flavorMixed, uint8(1))   // spill/reload under the 8/8 budget
+	f.Add(uint64(77), uint16(160), uint8(4), flavorMem, uint8(1|2))     // Budget8 + in-order piggyback TLB
+	f.Add(uint64(3301), uint16(160), uint8(0), flavorBranchy, uint8(4)) // virtually-indexed cache path
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, designIdx, flavor, flags uint8) {
+		designs := []string{"T4", "T1", "M4", "P8", "I4/PB"}
+		nInsts := 20 + int(n)%400
+		budget := prog.Budget32
+		if flags&1 != 0 {
+			budget = prog.Budget8
+		}
+		p, err := genRandomProgram(seed, nInsts, budget, flavor%3)
+		if err != nil {
+			t.Fatalf("gen: %v", err)
+		}
+		cfg := DefaultConfig()
+		cfg.Lockstep = true
+		cfg.InOrder = flags&2 != 0
+		cfg.VirtualCache = flags&4 != 0
+		m, err := NewWithDesign(p, cfg, designs[int(designIdx)%len(designs)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("lockstep: %v\n%s", err, m.DebugHead())
+		}
+		if !m.Halted() {
+			t.Fatal("machine did not halt")
+		}
+	})
 }

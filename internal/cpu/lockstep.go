@@ -1,0 +1,181 @@
+package cpu
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"hbat/internal/emu"
+	"hbat/internal/isa"
+	"hbat/internal/prog"
+)
+
+// lockstepWindow is how many recently committed instructions the
+// checker keeps for the divergence report's context window.
+const lockstepWindow = 8
+
+// DivergenceError reports the first point where the timed pipeline's
+// committed architected state departed from the functional emulator's.
+// It is returned by Machine.Run when Config.Lockstep is set and a
+// commit-stage bug (mis-renamed register, dropped store, wrong-path
+// commit, ...) corrupts architected state — the aggregate statistics
+// the paper's figures are built from would silently absorb such a bug.
+type DivergenceError struct {
+	Cycle  int64    // cycle of the diverging commit
+	Commit uint64   // how many instructions had committed cleanly before it
+	PC     uint64   // program counter of the diverging instruction
+	Inst   string   // decoded instruction (empty when fetch itself diverged)
+	Reason string   // what differed, with expected/actual values
+	Window []string // decoded context: the last few commits, oldest first
+}
+
+func (e *DivergenceError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cpu: lockstep divergence at commit %d (cycle %d, pc 0x%x", e.Commit, e.Cycle, e.PC)
+	if e.Inst != "" {
+		fmt.Fprintf(&sb, ", %s", e.Inst)
+	}
+	fmt.Fprintf(&sb, "): %s", e.Reason)
+	if len(e.Window) > 0 {
+		sb.WriteString("\n  recent commits (oldest first):")
+		for _, w := range e.Window {
+			sb.WriteString("\n    ")
+			sb.WriteString(w)
+		}
+	}
+	return sb.String()
+}
+
+// lockstepCommit is one ring-buffer record for the context window.
+type lockstepCommit struct {
+	pc   uint64
+	inst *isa.Inst
+}
+
+// lockstep runs the functional emulator in commit-order lockstep with
+// the pipeline: one emulator step per committed instruction, with the
+// full architected register file, the committed PC, and committed store
+// values compared at every step.
+type lockstep struct {
+	ref    *emu.Machine
+	window [lockstepWindow]lockstepCommit
+	n      uint64 // commits checked (also indexes the ring)
+}
+
+// newLockstep builds the golden reference for p.
+func newLockstep(p *prog.Program, pageSize uint64) (*lockstep, error) {
+	ref, err := emu.New(p, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	return &lockstep{ref: ref}, nil
+}
+
+// contextWindow renders the ring of recent commits, oldest first.
+func (ls *lockstep) contextWindow() []string {
+	n := int(ls.n)
+	if n > lockstepWindow {
+		n = lockstepWindow
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		rec := ls.window[(int(ls.n)-n+i)%lockstepWindow]
+		out = append(out, fmt.Sprintf("#%d pc=0x%x %v", int(ls.n)-n+i, rec.pc, rec.inst))
+	}
+	return out
+}
+
+// diverge records the failure as the machine's terminal error.
+func (m *Machine) diverge(e *robEntry, reason string) bool {
+	inst := ""
+	if e.inst != nil {
+		inst = e.inst.String()
+	}
+	m.err = &DivergenceError{
+		Cycle:  m.cycle,
+		Commit: m.lockstep.n,
+		PC:     e.pc,
+		Inst:   inst,
+		Reason: reason,
+		Window: m.lockstep.contextWindow(),
+	}
+	return false
+}
+
+// lockstepCheck verifies one committed instruction against the golden
+// emulator. It is called from commit after the entry's architected
+// effects (register writes, the store's memory write) have been
+// applied. It returns false — with m.err set to a *DivergenceError —
+// on the first mismatch.
+func (m *Machine) lockstepCheck(e *robEntry) bool {
+	ls := m.lockstep
+	ref := ls.ref
+
+	if ref.Halted {
+		return m.diverge(e, "pipeline committed an instruction after the reference emulator halted")
+	}
+	if ref.PC != e.pc {
+		return m.diverge(e, fmt.Sprintf("committed pc 0x%x, but the reference's next instruction is at 0x%x (commit-order break)", e.pc, ref.PC))
+	}
+	if err := ref.Step(); err != nil {
+		return m.diverge(e, fmt.Sprintf("reference emulator faulted where the pipeline committed: %v", err))
+	}
+
+	// The committed architected register file must match the
+	// reference's after the same instruction.
+	for r := 0; r < isa.NumRegs; r++ {
+		if m.regs[r] != ref.Regs[r] {
+			return m.diverge(e, fmt.Sprintf("register %s = 0x%x, reference has 0x%x",
+				isa.Reg(r), m.regs[r], ref.Regs[r]))
+		}
+	}
+
+	// A committed store must have written the same bytes to the same
+	// virtual location. Both sides are read back virtually, so a wrong
+	// physical translation shows up too.
+	if e.isStore {
+		var got, want [8]byte
+		w := e.memWidth
+		if err := m.ReadVirt(e.effAddr, got[:w]); err != nil {
+			return m.diverge(e, fmt.Sprintf("committed store at 0x%x unreadable: %v", e.effAddr, err))
+		}
+		if err := ref.ReadVirt(e.effAddr, want[:w]); err != nil {
+			return m.diverge(e, fmt.Sprintf("reference memory at 0x%x unreadable: %v", e.effAddr, err))
+		}
+		if !bytes.Equal(got[:w], want[:w]) {
+			return m.diverge(e, fmt.Sprintf("store wrote % x at 0x%x, reference has % x",
+				got[:w], e.effAddr, want[:w]))
+		}
+	}
+
+	ls.window[ls.n%lockstepWindow] = lockstepCommit{pc: e.pc, inst: e.inst}
+	ls.n++
+	return true
+}
+
+// lockstepFinish runs the end-of-run cross-checks: every commit must
+// have been checked, and a clean halt must find the reference halted
+// with the same retirement count.
+func (m *Machine) lockstepFinish() {
+	if m.err != nil {
+		return
+	}
+	ls := m.lockstep
+	if m.stats.Committed != ls.n {
+		m.err = &DivergenceError{
+			Cycle:  m.cycle,
+			Commit: ls.n,
+			Reason: fmt.Sprintf("%d instructions committed but %d were lockstep-checked (a commit path bypassed the checker)", m.stats.Committed, ls.n),
+			Window: ls.contextWindow(),
+		}
+		return
+	}
+	if m.halted && !ls.ref.Halted {
+		m.err = &DivergenceError{
+			Cycle:  m.cycle,
+			Commit: ls.n,
+			Reason: fmt.Sprintf("pipeline halted after %d commits but the reference (pc 0x%x) has not", ls.n, ls.ref.PC),
+			Window: ls.contextWindow(),
+		}
+	}
+}

@@ -55,6 +55,7 @@ type Machine struct {
 
 	fetchPC         uint64
 	fetchStallUntil int64
+	fetchStallCause uint8 // why fetchStallUntil was last raised (stall* constants)
 	fetchQ          []fetchedInst
 	fetchQHead      int
 	haltPending     bool
@@ -82,6 +83,17 @@ type Machine struct {
 	halted bool
 	err    error
 	stats  Stats
+
+	// lockstep is the golden-model checker (nil unless Config.Lockstep).
+	lockstep *lockstep
+	// testCommitHook, when non-nil, observes (and may corrupt) each
+	// entry at commit just before the lockstep check — the fault-
+	// injection point negative tests use to prove the checker catches
+	// commit-stage bugs. Tests set it directly; it is never set in
+	// production paths.
+	testCommitHook func(*Machine, *robEntry)
+
+	metrics coreMetrics
 }
 
 // New builds a machine running p with the given TLB design factory.
@@ -102,6 +114,14 @@ func New(p *prog.Program, cfg Config, buildTLB func(*vm.AddressSpace) tlb.Device
 		pred:   bpred.New(cfg.Branch),
 		rob:    newROB(cfg.ROBSize),
 		fetchQ: make([]fetchedInst, 0, cfg.FetchQueue),
+	}
+	m.metrics = newCoreMetrics()
+	if cfg.Lockstep {
+		ls, err := newLockstep(p, cfg.PageSize)
+		if err != nil {
+			return nil, fmt.Errorf("cpu: building lockstep reference: %w", err)
+		}
+		m.lockstep = ls
 	}
 	m.pageBits = m.AS.PageBits()
 	m.pageMask = cfg.PageSize - 1
@@ -223,6 +243,7 @@ func (m *Machine) tick() {
 	m.complete()
 	m.commit()
 	if m.halted || m.err != nil {
+		m.observeCycle()
 		return
 	}
 	if m.cfg.FlushTLBEvery > 0 && m.stats.Committed >= m.nextFlushAt {
@@ -239,6 +260,7 @@ func (m *Machine) tick() {
 	m.issue()
 	m.dispatch()
 	m.fetch()
+	m.observeCycle()
 
 	if m.cycle-m.lastCommitCycle > 50000 {
 		m.err = fmt.Errorf("%w at cycle %d (pc 0x%x, rob %d entries)",
@@ -261,6 +283,10 @@ func (m *Machine) Run() error {
 	}
 	m.stats.Cycles = m.cycle
 	m.stats.TLBWalks = m.DTLB.Stats().Fills
+	if m.lockstep != nil {
+		m.lockstepFinish()
+	}
+	m.syncAggregateMetrics()
 	return m.err
 }
 

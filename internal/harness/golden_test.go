@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hbat/internal/workload"
+)
+
+// Regenerate the fixtures after an intentional output or timing-model
+// change with:
+//
+//	go test ./internal/harness/ -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// when -update is set. Every input that feeds these fixtures is
+// deterministic — seeded simulations, slice-ordered rendering — so any
+// diff is a real behaviour change, not noise.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotLines := strings.Split(string(got), "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("%s differs at line %d:\n got: %q\nwant: %q\n(run with -update if the change is intentional)",
+				path, i+1, g, w)
+		}
+	}
+	t.Fatalf("%s differs (run with -update if the change is intentional)", path)
+}
+
+// goldenOpts is the reduced grid the fixtures are built from: one
+// design per family, a workload from each locality class.
+func goldenOpts() Options {
+	return Options{
+		Scale:     workload.ScaleTest,
+		Seed:      1,
+		Workloads: []string{"espresso", "xlisp", "compress"},
+		Designs:   []string{"T4", "T1", "M8", "PB2", "I4"},
+	}
+}
+
+func TestGoldenFigureReport(t *testing.T) {
+	f, err := Figure5(goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text, csv strings.Builder
+	RenderFigure(&text, f)
+	checkGolden(t, "figure5.txt", []byte(text.String()))
+	FigureCSV(&csv, f)
+	checkGolden(t, "figure5.csv", []byte(csv.String()))
+}
+
+func TestGoldenTable2(t *testing.T) {
+	var sb strings.Builder
+	RenderTable2(&sb)
+	checkGolden(t, "table2.txt", []byte(sb.String()))
+}
+
+func TestGoldenTable3(t *testing.T) {
+	rows, err := Table3(goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderTable3(&sb, rows)
+	checkGolden(t, "table3.txt", []byte(sb.String()))
+}
+
+func TestGoldenFigure6(t *testing.T) {
+	f, err := Figure6(goldenOpts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderFigure6(&sb, f)
+	checkGolden(t, "figure6.txt", []byte(sb.String()))
+}
+
+func TestGoldenModelStudy(t *testing.T) {
+	rows, err := ModelStudy(goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderModelStudy(&sb, rows)
+	checkGolden(t, "modelstudy.txt", []byte(sb.String()))
+}

@@ -13,6 +13,7 @@ import (
 
 	"hbat/internal/cpu"
 	"hbat/internal/prog"
+	"hbat/internal/stats"
 	"hbat/internal/tlb"
 	"hbat/internal/workload"
 )
@@ -32,6 +33,11 @@ type RunSpec struct {
 	// Extensions beyond the paper's grid.
 	VirtualCache       bool
 	ContextSwitchEvery uint64
+
+	// Lockstep turns on the golden-model differential checker
+	// (cpu.Config.Lockstep): any architected-state divergence surfaces
+	// as the run's Err instead of silently skewing the statistics.
+	Lockstep bool
 }
 
 func (s RunSpec) String() string {
@@ -44,10 +50,11 @@ func (s RunSpec) String() string {
 
 // RunResult is one simulation's outcome.
 type RunResult struct {
-	Spec  RunSpec
-	Stats cpu.Stats
-	TLB   tlb.Stats
-	Err   error
+	Spec    RunSpec
+	Stats   cpu.Stats
+	TLB     tlb.Stats
+	Metrics stats.Snapshot
+	Err     error
 }
 
 // Run executes one simulation.
@@ -69,6 +76,7 @@ func Run(spec RunSpec) RunResult {
 	cfg.MaxInsts = spec.MaxInsts
 	cfg.VirtualCache = spec.VirtualCache
 	cfg.FlushTLBEvery = spec.ContextSwitchEvery
+	cfg.Lockstep = spec.Lockstep
 	if spec.Seed != 0 {
 		cfg.Seed = spec.Seed
 	}
@@ -77,12 +85,13 @@ func Run(spec RunSpec) RunResult {
 		res.Err = err
 		return res
 	}
-	if err := m.Run(); err != nil {
-		res.Err = fmt.Errorf("%s: %w", spec, err)
-		return res
-	}
+	err = m.Run()
 	res.Stats = *m.Stats()
 	res.TLB = *m.DTLB.Stats()
+	res.Metrics = m.Metrics().Snapshot()
+	if err != nil {
+		res.Err = fmt.Errorf("%s: %w", spec, err)
+	}
 	return res
 }
 

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hbat/internal/harness"
+	"hbat/internal/workload"
+)
+
+// Regenerate with: go test ./internal/report/ -run TestGoldenHTML -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// TestGoldenHTMLReport pins the full rendered page — template structure,
+// SVG layout, and the simulated numbers — for a reduced deterministic
+// grid. The injected timestamp keeps the page reproducible.
+func TestGoldenHTMLReport(t *testing.T) {
+	opts := harness.Options{
+		Scale:     workload.ScaleTest,
+		Seed:      1,
+		Workloads: []string{"espresso", "xlisp", "compress"},
+		Designs:   []string{"T4", "T1", "M8", "PB2", "I4"},
+	}
+	var sb strings.Builder
+	if err := Generate(&sb, opts, []string{"fig5"}, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got := []byte(sb.String())
+
+	path := filepath.Join("testdata", "report.html")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		gotLines := strings.Split(string(got), "\n")
+		wantLines := strings.Split(string(want), "\n")
+		for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+			var g, w string
+			if i < len(gotLines) {
+				g = gotLines[i]
+			}
+			if i < len(wantLines) {
+				w = wantLines[i]
+			}
+			if g != w {
+				t.Fatalf("%s differs at line %d:\n got: %q\nwant: %q\n(run with -update if the change is intentional)",
+					path, i+1, g, w)
+			}
+		}
+		t.Fatalf("%s differs (run with -update if the change is intentional)", path)
+	}
+}

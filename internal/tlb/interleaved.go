@@ -106,6 +106,7 @@ func (t *Interleaved) Lookup(req Request, now int64) Result {
 				return Result{Outcome: Miss}
 			}
 			t.stats.Hits++
+			t.stats.observeExtra(0)
 			if statusWrite(t.inflight[b].pte, req.Write) {
 				t.stats.StatusWrites++
 			}
@@ -123,6 +124,7 @@ func (t *Interleaved) Lookup(req Request, now int64) Result {
 		return Result{Outcome: Miss}
 	}
 	t.stats.Hits++
+	t.stats.observeExtra(0)
 	if statusWrite(pte, req.Write) {
 		t.stats.StatusWrites++
 	}

@@ -68,6 +68,7 @@ func (t *Multilevel) Lookup(req Request, now int64) Result {
 	if pte, ok := t.l1.Lookup(req.VPN, now); ok {
 		t.stats.Hits++
 		t.stats.ShieldHits++
+		t.stats.observeExtra(0)
 		if statusWrite(pte, req.Write) {
 			// Write-through of the status change to the L2: consumes a
 			// background slot of the L2 port but adds no latency to
@@ -88,7 +89,7 @@ func (t *Multilevel) Lookup(req Request, now int64) Result {
 
 	if pte, ok := t.l2.Lookup(req.VPN, start); ok {
 		t.stats.Hits++
-		t.stats.ExtraCycles += uint64(extra)
+		t.stats.observeExtra(extra)
 		if statusWrite(pte, req.Write) {
 			t.stats.StatusWrites++
 		}

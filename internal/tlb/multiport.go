@@ -89,6 +89,7 @@ func (t *Multiported) Lookup(req Request, now int64) Result {
 			}
 			t.stats.Lookups++
 			t.stats.Hits++
+			t.stats.observeExtra(0)
 			t.bank.Touch(req.VPN, now)
 			if statusWrite(fl.pte, req.Write) {
 				t.stats.StatusWrites++
@@ -109,6 +110,7 @@ func (t *Multiported) Lookup(req Request, now int64) Result {
 		return Result{Outcome: Miss}
 	}
 	t.stats.Hits++
+	t.stats.observeExtra(0)
 	if statusWrite(pte, req.Write) {
 		t.stats.StatusWrites++
 	}

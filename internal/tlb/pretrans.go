@@ -130,6 +130,7 @@ func (t *Pretranslation) Lookup(req Request, now int64) Result {
 			e.lastUse = t.clock
 			t.stats.Hits++
 			t.stats.ShieldHits++
+			t.stats.observeExtra(0)
 			if statusWrite(e.pte, req.Write) {
 				t.stats.StatusWrites++
 				t.reserveBasePort(now + 1)
@@ -152,7 +153,7 @@ func (t *Pretranslation) Lookup(req Request, now int64) Result {
 		return Result{Outcome: Miss}
 	}
 	t.stats.Hits++
-	t.stats.ExtraCycles += uint64(extra)
+	t.stats.observeExtra(extra)
 	if statusWrite(pte, req.Write) {
 		t.stats.StatusWrites++
 	}
