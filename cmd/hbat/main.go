@@ -6,6 +6,9 @@
 //	hbat [-workload compress] [-design T4] [-pagesize 4096] [-inorder]
 //	     [-fewregs] [-scale small] [-seed 1] [-maxinsts N] [-lockstep]
 //	     [-metrics out.json] [-metrics-csv out.csv]
+//	     [-trace out.json] [-trace-format perfetto|konata]
+//	     [-trace-start N] [-trace-end N] [-trace-buffer N] [-trace-summary]
+//	     [-interval-csv out.csv] [-interval N] [-progress]
 //	     [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //	hbat -list
 //	hbat -dump-config
@@ -18,6 +21,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"hbat"
 )
@@ -53,12 +57,22 @@ func run() error {
 		lockstep   = flag.Bool("lockstep", false, "verify every commit against the golden emulator (differential check)")
 		metrics    = flag.String("metrics", "", "write the run's metrics registry as JSON to this file (\"-\" = stdout)")
 		metricsCSV = flag.String("metrics-csv", "", "write the run's metrics registry as CSV to this file (\"-\" = stdout)")
-		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
-		memProf    = flag.String("memprofile", "", "write a pprof heap profile after the simulation to this file")
-		list       = flag.Bool("list", false, "list workloads and designs, then exit")
-		dumpCfg    = flag.Bool("dump-config", false, "print the Table 1 baseline configuration, then exit")
-		analyze    = flag.Bool("analyze", false, "fit the paper's Section 2 performance model (runs the design and a T4 baseline)")
-		disasm     = flag.Bool("disasm", false, "print the workload's generated code instead of simulating")
+
+		traceFile    = flag.String("trace", "", "record pipeline events and write the trace to this file")
+		traceFormat  = flag.String("trace-format", "perfetto", "trace export format: perfetto (ui.perfetto.dev JSON) or konata (pipeline-viewer log)")
+		traceStart   = flag.Int64("trace-start", 0, "first cycle to record (0 = from the beginning)")
+		traceEnd     = flag.Int64("trace-end", 0, "last cycle to record, inclusive (0 = to the end)")
+		traceBuffer  = flag.Int("trace-buffer", 0, "trace ring-buffer capacity in events (0 = 65536; oldest overwritten)")
+		traceSummary = flag.Bool("trace-summary", false, "print a text report of stall causes and longest-latency instructions (implies recording)")
+		intervalCSV  = flag.String("interval-csv", "", "sample interval time-series metrics and write CSV to this file (\"-\" = stdout)")
+		interval     = flag.Int64("interval", 10000, "interval sample period in cycles (with -interval-csv)")
+		progress     = flag.Bool("progress", false, "print a one-line status heartbeat to stderr during the run")
+		cpuProf      = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
+		memProf      = flag.String("memprofile", "", "write a pprof heap profile after the simulation to this file")
+		list         = flag.Bool("list", false, "list workloads and designs, then exit")
+		dumpCfg      = flag.Bool("dump-config", false, "print the Table 1 baseline configuration, then exit")
+		analyze      = flag.Bool("analyze", false, "fit the paper's Section 2 performance model (runs the design and a T4 baseline)")
+		disasm       = flag.Bool("disasm", false, "print the workload's generated code instead of simulating")
 	)
 	flag.Parse()
 
@@ -118,6 +132,30 @@ func run() error {
 		MaxInsts:     *maxInsts,
 		Lockstep:     *lockstep,
 	}
+	if *traceFile != "" || *traceSummary {
+		switch *traceFormat {
+		case "perfetto", "konata":
+		default:
+			return fmt.Errorf("unknown -trace-format %q (perfetto, konata)", *traceFormat)
+		}
+		opts.Trace = &hbat.TraceOptions{Buffer: *traceBuffer, Start: *traceStart, End: *traceEnd}
+	}
+	if *intervalCSV != "" {
+		opts.IntervalEvery = *interval
+	}
+	if *progress {
+		start := time.Now()
+		opts.Progress = func(cycle int64, committed uint64) {
+			elapsed := time.Since(start).Seconds()
+			ipc := 0.0
+			if cycle > 0 {
+				ipc = float64(committed) / float64(cycle)
+			}
+			fmt.Fprintf(os.Stderr, "hbat: cycle %d, %d insts, IPC %.3f, %.1fs elapsed\n",
+				cycle, committed, ipc, elapsed)
+		}
+		opts.ProgressEvery = 100000
+	}
 	if *disasm {
 		return hbat.Disassemble(*wl, *scale, *fewRegs, os.Stdout)
 	}
@@ -150,7 +188,59 @@ func run() error {
 		res.ShieldHits, res.Piggybacks, res.StatusWrites)
 	fmt.Printf("stalls         fetch %d, dispatch: tlb-miss %d, rob-full %d, lsq-full %d (cycles)\n",
 		res.FetchStallCycles, res.DispatchTLBStalls, res.DispatchROBFull, res.DispatchLSQFull)
-	return exportMetrics(*metrics, *metricsCSV, res.Metrics)
+	if err := exportMetrics(*metrics, *metricsCSV, res.Metrics); err != nil {
+		return err
+	}
+	if res.Trace != nil {
+		if *traceFile != "" {
+			if err := exportTrace(*traceFile, *traceFormat, res.Trace); err != nil {
+				return err
+			}
+			fmt.Printf("trace          %s (%s, %d events held, %d dropped)\n",
+				*traceFile, *traceFormat, res.Trace.Len(), res.Trace.Dropped())
+		}
+		if *traceSummary {
+			if err := res.Trace.WriteSummary(os.Stdout, 10); err != nil {
+				return err
+			}
+		}
+	}
+	if res.Intervals != nil && *intervalCSV != "" {
+		if err := exportIntervals(*intervalCSV, res.Intervals); err != nil {
+			return err
+		}
+		if *intervalCSV != "-" {
+			fmt.Printf("interval-csv   %s\n", *intervalCSV)
+		}
+	}
+	return nil
+}
+
+// exportTrace writes the captured pipeline trace in the chosen format.
+func exportTrace(path, format string, tr *hbat.PipelineTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if format == "konata" {
+		return tr.WriteKonata(f)
+	}
+	return tr.WritePerfetto(f)
+}
+
+// exportIntervals writes the sampled time series as CSV ("-" = stdout).
+func exportIntervals(path string, s *hbat.IntervalSeries) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return s.WriteCSV(out)
 }
 
 // exportMetrics honors the -metrics / -metrics-csv flags.

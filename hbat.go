@@ -20,6 +20,7 @@ import (
 	"hbat/internal/cpu"
 	"hbat/internal/harness"
 	"hbat/internal/prog"
+	"hbat/internal/ptrace"
 	"hbat/internal/stats"
 	"hbat/internal/tlb"
 	"hbat/internal/workload"
@@ -57,7 +58,39 @@ type Options struct {
 	// pipeline: any divergence of architected state from the functional
 	// emulator is returned as an error instead of skewing statistics.
 	Lockstep bool
+	// Trace, when non-nil, records pipeline events during the run; the
+	// captured trace is returned as Result.Trace.
+	Trace *TraceOptions
+	// IntervalEvery, when positive, samples an interval time-series row
+	// (IPC, TLB miss rate, ROB occupancy, port queue depth) every N
+	// cycles into Result.Intervals.
+	IntervalEvery int64
+	// Progress, when non-nil, is invoked every ProgressEvery cycles
+	// (default ~1M) with live cycle/instruction counts — a heartbeat for
+	// long runs.
+	Progress      func(cycle int64, committed uint64)
+	ProgressEvery int64
 }
+
+// TraceOptions bounds a pipeline-event recording (see internal/ptrace).
+type TraceOptions struct {
+	// Buffer is the ring-buffer capacity in events (default 65536);
+	// oldest events are overwritten once it fills.
+	Buffer int
+	// Start and End bound the recorded cycle range, inclusive
+	// (Start<=1 means from the beginning; End 0 means to the end).
+	Start, End int64
+}
+
+// PipelineTrace is a captured pipeline event recording. Export it with
+// its WritePerfetto (Chrome/Perfetto trace-event JSON for
+// ui.perfetto.dev), WriteKonata (Konata pipeline-viewer log), or
+// WriteSummary (plain-text stall report) methods.
+type PipelineTrace = ptrace.Recorder
+
+// IntervalSeries is a sampled time series of run metrics; export it
+// with WriteCSV.
+type IntervalSeries = stats.IntervalSeries
 
 // MetricsSnapshot is a point-in-time export of a run's metrics registry
 // (counters, gauges, and histograms; see internal/stats). It marshals
@@ -98,6 +131,13 @@ type Result struct {
 	// and translation-latency distributions, replay and squash counts,
 	// and per-cause stall cycles.
 	Metrics MetricsSnapshot
+
+	// Trace is the captured pipeline recording (nil unless
+	// Options.Trace was set).
+	Trace *PipelineTrace
+	// Intervals is the sampled time series (nil unless
+	// Options.IntervalEvery was positive).
+	Intervals *IntervalSeries
 }
 
 func parseScale(s string) (workload.Scale, error) {
@@ -142,6 +182,12 @@ func (o Options) spec() (harness.RunSpec, error) {
 	spec.VirtualCache = o.VirtualCache
 	spec.ContextSwitchEvery = o.ContextSwitchEvery
 	spec.Lockstep = o.Lockstep
+	if o.Trace != nil {
+		spec.Trace = &ptrace.Config{Cap: o.Trace.Buffer, Start: o.Trace.Start, End: o.Trace.End}
+	}
+	spec.IntervalEvery = o.IntervalEvery
+	spec.Progress = o.Progress
+	spec.ProgressEvery = o.ProgressEvery
 	return spec, nil
 }
 
@@ -180,7 +226,9 @@ func Simulate(o Options) (*Result, error) {
 		DispatchROBFull:   r.Stats.DispatchROBFull,
 		DispatchLSQFull:   r.Stats.DispatchLSQFull,
 
-		Metrics: r.Metrics,
+		Metrics:   r.Metrics,
+		Trace:     r.Trace,
+		Intervals: r.Intervals,
 	}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hbat/internal/isa"
+	"hbat/internal/ptrace"
 )
 
 // commit retires up to CommitWidth completed instructions in program
@@ -25,6 +26,9 @@ func (m *Machine) commit() {
 			return
 		}
 		if e.faulted() {
+			if m.tracer != nil {
+				m.tracer.Emit(e.seq, m.cycle, ptrace.KFault, e.pc, e.inst, 1)
+			}
 			m.err = fmt.Errorf("cpu: protection fault at pc 0x%x (%s, addr 0x%x)", e.pc, e.inst, e.effAddr)
 			return
 		}
@@ -36,6 +40,9 @@ func (m *Machine) commit() {
 				return
 			}
 			m.stats.Committed++
+			if m.tracer != nil {
+				m.tracer.Emit(e.seq, m.cycle, ptrace.KCommit, e.pc, e.inst, 0)
+			}
 			m.halted = true
 			m.lastCommitCycle = m.cycle
 			m.rob.pop()
@@ -53,6 +60,9 @@ func (m *Machine) commit() {
 			}
 			if _, ok := m.dcache.Access(cacheAddr, true, m.cycle); !ok {
 				m.metrics.commitStoreRetry.Inc()
+				if m.tracer != nil {
+					m.tracer.Emit(e.seq, m.cycle, ptrace.KCommitRetry, e.pc, e.inst, 0)
+				}
 				return // retry next cycle
 			}
 			m.writeMem(e.paddr, e.memWidth, e.storeVal)
@@ -84,6 +94,9 @@ func (m *Machine) commit() {
 		}
 
 		m.stats.Committed++
+		if m.tracer != nil {
+			m.tracer.Emit(e.seq, m.cycle, ptrace.KCommit, e.pc, e.inst, 0)
+		}
 		switch {
 		case e.isLoad:
 			m.stats.CommittedLoads++

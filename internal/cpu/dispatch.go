@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"hbat/internal/isa"
+	"hbat/internal/ptrace"
 )
 
 // dispatch renames up to IssueWidth fetched instructions per cycle into
@@ -48,6 +49,10 @@ func (m *Machine) dispatch() {
 		e.predNextPC = fi.predNextPC
 		e.predTaken = fi.predTaken
 		e.ghrSnap = fi.ghrSnap
+		if m.tracer != nil {
+			m.tracer.Emit(e.seq, fi.fetchCycle, ptrace.KFetch, e.pc, e.inst, 0)
+			m.tracer.Emit(e.seq, m.cycle, ptrace.KDispatch, e.pc, e.inst, int64(m.rob.count))
+		}
 
 		if fi.inst == nil {
 			// Wrong-path fetch beyond the text segment: a placeholder
@@ -55,6 +60,9 @@ func (m *Machine) dispatch() {
 			// commit.
 			e.state = sDone
 			e.nextPC = fi.pc + isa.InstBytes
+			if m.tracer != nil {
+				m.tracer.Emit(e.seq, m.cycle, ptrace.KComplete, e.pc, e.inst, 0)
+			}
 			continue
 		}
 		in := fi.inst
@@ -62,6 +70,9 @@ func (m *Machine) dispatch() {
 		case isa.ClassNop, isa.ClassHalt:
 			e.state = sDone
 			e.nextPC = fi.pc + isa.InstBytes
+			if m.tracer != nil {
+				m.tracer.Emit(e.seq, m.cycle, ptrace.KComplete, e.pc, e.inst, 0)
+			}
 			continue
 		}
 		e.isCtrl = in.IsCtrl()

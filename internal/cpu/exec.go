@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hbat/internal/isa"
+	"hbat/internal/ptrace"
 	"hbat/internal/tlb"
 	"hbat/internal/vm"
 )
@@ -191,6 +192,9 @@ func (m *Machine) issue() {
 		seenWaiting-- // the entry leaves sWaiting
 		m.nWaiting--
 		m.stats.Issued++
+		if m.tracer != nil {
+			m.tracer.Emit(e.seq, m.cycle, ptrace.KIssue, e.pc, e.inst, lat)
+		}
 		m.execute(idx, e, lat)
 		return true
 	})
@@ -313,6 +317,9 @@ func (m *Machine) memExecute() {
 				if e.doneAt < m.cycle {
 					e.doneAt = m.cycle
 				}
+				if m.tracer != nil {
+					m.tracer.Emit(e.seq, m.cycle, ptrace.KComplete, e.pc, e.inst, 0)
+				}
 			}
 		}
 		return m.err == nil
@@ -328,6 +335,9 @@ func (m *Machine) advanceWalk(idx int, e *robEntry) {
 		if m.rob.headEntry() == e {
 			e.walking = true
 			e.walkDone = m.cycle + m.cfg.TLBMissLatency
+			if m.tracer != nil {
+				m.tracer.Emit(e.seq, m.cycle, ptrace.KWalkStart, e.pc, e.inst, m.cfg.TLBMissLatency)
+			}
 		}
 		return
 	}
@@ -339,6 +349,9 @@ func (m *Machine) advanceWalk(idx int, e *robEntry) {
 	if _, err := m.DTLB.Fill(vpn, m.cycle); err != nil {
 		m.err = fmt.Errorf("cpu: pc 0x%x %s addr 0x%x: %w", e.pc, e.inst, e.effAddr, err)
 		return
+	}
+	if m.tracer != nil {
+		m.tracer.Emit(e.seq, m.cycle, ptrace.KWalkEnd, e.pc, e.inst, m.cfg.TLBMissLatency)
 	}
 	e.walking = false
 	e.state = sMemReq
@@ -381,10 +394,16 @@ func (m *Machine) memRequest(idx int, e *robEntry) {
 		m.stats.TLBRetries++
 		m.metrics.replayTLBNoPort.Inc()
 		m.metrics.noPortThisCycle++
+		if m.tracer != nil {
+			m.tracer.Emit(e.seq, m.cycle, ptrace.KTLBNoPort, e.pc, e.inst, 0)
+		}
 		return
 	case tlb.Miss:
 		e.state = sMemWalk
 		e.walking = false
+		if m.tracer != nil {
+			m.tracer.Emit(e.seq, m.cycle, ptrace.KTLBMiss, e.pc, e.inst, 0)
+		}
 		if !e.missCharged() {
 			e.setMissCharged()
 			m.tlbMissOutstanding++
@@ -392,6 +411,9 @@ func (m *Machine) memRequest(idx int, e *robEntry) {
 		return
 	}
 	m.metrics.transExtra.Observe(res.Extra)
+	if m.tracer != nil {
+		m.tracer.Emit(e.seq, m.cycle, ptrace.KTLBHit, e.pc, e.inst, res.Extra)
+	}
 
 	pte := res.PTE
 	need := vm.PermRead
@@ -405,6 +427,10 @@ func (m *Machine) memRequest(idx int, e *robEntry) {
 		e.state = sDone
 		m.nMem--
 		e.doneAt = m.cycle + 1
+		if m.tracer != nil {
+			m.tracer.Emit(e.seq, m.cycle, ptrace.KFault, e.pc, e.inst, 0)
+			m.tracer.Emit(e.seq, m.cycle, ptrace.KComplete, e.pc, e.inst, 0)
+		}
 		return
 	}
 	e.paddr = pte.PFN<<m.pageBits | (e.effAddr & m.pageMask)
@@ -418,6 +444,9 @@ func (m *Machine) memRequest(idx int, e *robEntry) {
 			e.storeVal = e.srcs[0].val
 			e.state = sDone
 			m.nMem--
+			if m.tracer != nil {
+				m.tracer.Emit(e.seq, m.cycle, ptrace.KComplete, e.pc, e.inst, 0)
+			}
 		} else {
 			e.state = sStoreData
 		}
@@ -432,6 +461,9 @@ func (m *Machine) memRequest(idx int, e *robEntry) {
 		// Re-requesting next cycle re-translates, which is what a
 		// replayed access does.
 		m.metrics.replayStoreWait.Inc()
+		if m.tracer != nil {
+			m.tracer.Emit(e.seq, m.cycle, ptrace.KStoreWait, e.pc, e.inst, 0)
+		}
 		return
 	}
 	var extraCache int64
@@ -440,9 +472,19 @@ func (m *Machine) memRequest(idx int, e *robEntry) {
 		extraCache, ok = m.dcache.Access(e.paddr, false, m.cycle)
 		if !ok {
 			m.metrics.replayCachePort.Inc()
+			if m.tracer != nil {
+				m.tracer.Emit(e.seq, m.cycle, ptrace.KDCachePort, e.pc, e.inst, 0)
+			}
 			return // no data-cache port; retry next cycle
 		}
 		fwdVal = m.readMem(e.paddr, e.memWidth)
+		if m.tracer != nil {
+			k := ptrace.KDCacheHit
+			if extraCache > 0 {
+				k = ptrace.KDCacheMiss
+			}
+			m.tracer.Emit(e.seq, m.cycle, k, e.pc, e.inst, extraCache)
+		}
 	}
 	e.dests[0].val = isa.LoadExtend(e.inst.Op, fwdVal)
 	done := m.cycle + 1 + res.Extra + extraCache
@@ -450,6 +492,9 @@ func (m *Machine) memRequest(idx int, e *robEntry) {
 	e.state = sDone
 	m.nMem--
 	e.doneAt = done
+	if m.tracer != nil {
+		m.tracer.Emit(e.seq, m.cycle, ptrace.KComplete, e.pc, e.inst, done-m.cycle)
+	}
 }
 
 // memRequestVC is the virtual-address-cache variant of memRequest:
@@ -465,6 +510,9 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 		fwdVal, fwdOK, mustWait := m.forwardFromStore(idx, e)
 		if mustWait {
 			m.metrics.replayStoreWait.Inc()
+			if m.tracer != nil {
+				m.tracer.Emit(e.seq, m.cycle, ptrace.KStoreWait, e.pc, e.inst, 0)
+			}
 			return
 		}
 		if fwdOK {
@@ -474,6 +522,9 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 			e.state = sDone
 			m.nMem--
 			e.doneAt = done
+			if m.tracer != nil {
+				m.tracer.Emit(e.seq, m.cycle, ptrace.KComplete, e.pc, e.inst, 1)
+			}
 			return
 		}
 	}
@@ -489,6 +540,10 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 				e.state = sDone
 				m.nMem--
 				e.doneAt = m.cycle + 1
+				if m.tracer != nil {
+					m.tracer.Emit(e.seq, m.cycle, ptrace.KFault, e.pc, e.inst, 0)
+					m.tracer.Emit(e.seq, m.cycle, ptrace.KComplete, e.pc, e.inst, 0)
+				}
 				return
 			}
 			e.paddr = pte.PFN<<m.pageBits | (e.effAddr & m.pageMask)
@@ -498,6 +553,9 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 					e.storeVal = e.srcs[0].val
 					e.state = sDone
 					m.nMem--
+					if m.tracer != nil {
+						m.tracer.Emit(e.seq, m.cycle, ptrace.KComplete, e.pc, e.inst, 0)
+					}
 				} else {
 					e.state = sStoreData
 				}
@@ -506,6 +564,9 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 			extraC, ok := m.dcache.Access(e.effAddr, false, m.cycle)
 			if !ok {
 				m.metrics.replayCachePort.Inc()
+				if m.tracer != nil {
+					m.tracer.Emit(e.seq, m.cycle, ptrace.KDCachePort, e.pc, e.inst, 0)
+				}
 				return // no port; retry
 			}
 			done := m.cycle + 1 + extraC
@@ -514,6 +575,14 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 			e.state = sDone
 			m.nMem--
 			e.doneAt = done
+			if m.tracer != nil {
+				k := ptrace.KDCacheHit
+				if extraC > 0 {
+					k = ptrace.KDCacheMiss
+				}
+				m.tracer.Emit(e.seq, m.cycle, k, e.pc, e.inst, extraC)
+				m.tracer.Emit(e.seq, m.cycle, ptrace.KComplete, e.pc, e.inst, done-m.cycle)
+			}
 			return
 		}
 		// A wrong-path access warmed this line before its page was ever
@@ -537,10 +606,16 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 		m.stats.TLBRetries++
 		m.metrics.replayTLBNoPort.Inc()
 		m.metrics.noPortThisCycle++
+		if m.tracer != nil {
+			m.tracer.Emit(e.seq, m.cycle, ptrace.KTLBNoPort, e.pc, e.inst, 0)
+		}
 		return
 	case tlb.Miss:
 		e.state = sMemWalk
 		e.walking = false
+		if m.tracer != nil {
+			m.tracer.Emit(e.seq, m.cycle, ptrace.KTLBMiss, e.pc, e.inst, 0)
+		}
 		if !e.missCharged() {
 			e.setMissCharged()
 			m.tlbMissOutstanding++
@@ -548,6 +623,9 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 		return
 	}
 	m.metrics.transExtra.Observe(res.Extra)
+	if m.tracer != nil {
+		m.tracer.Emit(e.seq, m.cycle, ptrace.KTLBHit, e.pc, e.inst, res.Extra)
+	}
 	pte := res.PTE
 	need := vm.PermRead
 	if e.isStore {
@@ -558,6 +636,10 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 		e.state = sDone
 		m.nMem--
 		e.doneAt = m.cycle + 1
+		if m.tracer != nil {
+			m.tracer.Emit(e.seq, m.cycle, ptrace.KFault, e.pc, e.inst, 0)
+			m.tracer.Emit(e.seq, m.cycle, ptrace.KComplete, e.pc, e.inst, 0)
+		}
 		return
 	}
 	e.paddr = pte.PFN<<m.pageBits | (e.effAddr & m.pageMask)
@@ -567,6 +649,9 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 			e.storeVal = e.srcs[0].val
 			e.state = sDone
 			m.nMem--
+			if m.tracer != nil {
+				m.tracer.Emit(e.seq, m.cycle, ptrace.KComplete, e.pc, e.inst, 0)
+			}
 		} else {
 			e.state = sStoreData
 		}
@@ -575,6 +660,9 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 	extraC, ok := m.dcache.Access(e.effAddr, false, m.cycle)
 	if !ok {
 		m.metrics.replayCachePort.Inc()
+		if m.tracer != nil {
+			m.tracer.Emit(e.seq, m.cycle, ptrace.KDCachePort, e.pc, e.inst, 0)
+		}
 		return
 	}
 	done := m.cycle + 1 + res.Extra + extraC
@@ -583,6 +671,14 @@ func (m *Machine) memRequestVC(idx int, e *robEntry) {
 	e.state = sDone
 	m.nMem--
 	e.doneAt = done
+	if m.tracer != nil {
+		k := ptrace.KDCacheHit
+		if extraC > 0 {
+			k = ptrace.KDCacheMiss
+		}
+		m.tracer.Emit(e.seq, m.cycle, k, e.pc, e.inst, extraC)
+		m.tracer.Emit(e.seq, m.cycle, ptrace.KComplete, e.pc, e.inst, done-m.cycle)
+	}
 }
 
 // forwardFromStore searches older in-flight stores for one covering
@@ -623,6 +719,9 @@ func (m *Machine) complete() {
 		if e.state == sExecuting && m.cycle >= e.doneAt {
 			e.state = sDone
 			m.nExec--
+			if m.tracer != nil {
+				m.tracer.Emit(e.seq, m.cycle, ptrace.KComplete, e.pc, e.inst, 0)
+			}
 			if e.isCtrl && !e.resolved {
 				e.resolved = true
 				m.resolveControl(idx, e)
@@ -670,6 +769,18 @@ func (m *Machine) resolveControl(idx int, e *robEntry) {
 // surviving entries, and redirects fetch with the misprediction
 // penalty.
 func (m *Machine) recover(idx int, e *robEntry) {
+	if m.tracer != nil {
+		past := false
+		m.rob.forEach(func(j int, o *robEntry) bool {
+			if past {
+				m.tracer.Emit(o.seq, m.cycle, ptrace.KSquash, o.pc, o.inst, 0)
+			}
+			if j == idx {
+				past = true
+			}
+			return true
+		})
+	}
 	n := m.rob.squashAfter(idx)
 	m.stats.Squashed += uint64(n)
 	m.metrics.squashRecoveries.Inc()

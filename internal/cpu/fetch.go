@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"hbat/internal/isa"
+	"hbat/internal/ptrace"
 	"hbat/internal/tlb"
 )
 
@@ -33,6 +34,9 @@ func (m *Machine) fetch() {
 		m.stats.ITLBAccesses++
 		if _, ok := m.itlb.Lookup(vpn, m.cycle); !ok {
 			m.stats.ITLBMisses++
+			if m.tracer != nil {
+				m.tracer.Emit(-1, m.cycle, ptrace.KITLBMiss, m.fetchPC, nil, 0)
+			}
 			if m.cfg.UnifiedTLB {
 				// The refill goes through the shared translation
 				// device, competing with data requests for a port.
@@ -88,7 +92,7 @@ func (m *Machine) fetch() {
 			break
 		}
 		in := m.prog.InstAt(pc)
-		fi := fetchedInst{pc: pc, inst: in, predNextPC: pc + isa.InstBytes}
+		fi := fetchedInst{pc: pc, inst: in, predNextPC: pc + isa.InstBytes, fetchCycle: m.cycle}
 
 		if in != nil {
 			switch in.Class() {

@@ -9,6 +9,8 @@ import (
 	"hbat/internal/isa"
 	"hbat/internal/mem"
 	"hbat/internal/prog"
+	"hbat/internal/ptrace"
+	"hbat/internal/stats"
 	"hbat/internal/tlb"
 	"hbat/internal/vm"
 )
@@ -24,6 +26,7 @@ type fetchedInst struct {
 	predTaken  bool
 	isCond     bool
 	ghrSnap    uint64
+	fetchCycle int64
 }
 
 // Machine is one simulated processor bound to a program and a TLB
@@ -94,6 +97,31 @@ type Machine struct {
 	testCommitHook func(*Machine, *robEntry)
 
 	metrics coreMetrics
+
+	// tracer, when non-nil, records cycle-accurate pipeline events
+	// (nil by default: every emit site is guarded by a nil check, so
+	// the hot path pays one predictable branch and zero allocations).
+	tracer *ptrace.Recorder
+
+	// interval, when non-nil, accumulates the periodic time-series
+	// samples configured by EnableIntervalSampling.
+	interval       *stats.IntervalSeries
+	intervalPrev   intervalBase
+	intervalNoPort int64
+
+	// progress, when non-nil, is called every progressEvery cycles
+	// (long-run heartbeat; see SetProgress).
+	progress      func(cycle int64, committed uint64)
+	progressEvery int64
+}
+
+// intervalBase snapshots the counters an interval sample differences
+// against.
+type intervalBase struct {
+	cycle     int64
+	committed uint64
+	lookups   uint64
+	misses    uint64
 }
 
 // New builds a machine running p with the given TLB design factory.
@@ -286,8 +314,69 @@ func (m *Machine) Run() error {
 	if m.lockstep != nil {
 		m.lockstepFinish()
 	}
+	if m.interval != nil && m.cycle > m.intervalPrev.cycle {
+		m.sampleInterval() // flush the final partial interval
+	}
 	m.syncAggregateMetrics()
 	return m.err
+}
+
+// SetTracer attaches a pipeline event recorder (nil detaches). With no
+// tracer attached — the default — the pipeline's emit sites reduce to
+// one nil check each.
+func (m *Machine) SetTracer(r *ptrace.Recorder) { m.tracer = r }
+
+// Tracer returns the attached pipeline event recorder (nil when
+// tracing is off).
+func (m *Machine) Tracer() *ptrace.Recorder { return m.tracer }
+
+// EnableIntervalSampling arranges for a time-series sample every N
+// cycles: committed IPC, TLB miss rate, ROB occupancy, and TLB-port
+// queue depth over each interval. Call before Run; read the series
+// with Intervals afterwards.
+func (m *Machine) EnableIntervalSampling(every int64) {
+	if every <= 0 {
+		return
+	}
+	m.interval = stats.NewIntervalSeries(every,
+		"cycle", "ipc", "tlb.miss_rate", "rob.occupancy", "tlb.port_queue_depth")
+	m.intervalPrev = intervalBase{}
+	m.intervalNoPort = 0
+}
+
+// Intervals returns the interval time series (nil unless
+// EnableIntervalSampling was called).
+func (m *Machine) Intervals() *stats.IntervalSeries { return m.interval }
+
+// SetProgress installs a heartbeat callback invoked every `every`
+// cycles during Run (both nil/0 disable it). The callback runs on the
+// simulation goroutine; keep it cheap.
+func (m *Machine) SetProgress(every int64, fn func(cycle int64, committed uint64)) {
+	if every <= 0 || fn == nil {
+		m.progress, m.progressEvery = nil, 0
+		return
+	}
+	m.progress, m.progressEvery = fn, every
+}
+
+// sampleInterval appends one time-series row covering the cycles since
+// the previous sample.
+func (m *Machine) sampleInterval() {
+	prev := &m.intervalPrev
+	dCycles := m.cycle - prev.cycle
+	if dCycles <= 0 {
+		return
+	}
+	ts := m.DTLB.Stats()
+	ipc := float64(m.stats.Committed-prev.committed) / float64(dCycles)
+	missRate := 0.0
+	if dLook := ts.Lookups - prev.lookups; dLook > 0 {
+		missRate = float64(ts.Misses-prev.misses) / float64(dLook)
+	}
+	queueDepth := float64(m.intervalNoPort) / float64(dCycles)
+	m.interval.Append(float64(m.cycle), ipc, missRate, float64(m.rob.count), queueDepth)
+	*prev = intervalBase{cycle: m.cycle, committed: m.stats.Committed, lookups: ts.Lookups, misses: ts.Misses}
+	m.intervalNoPort = 0
 }
 
 // Stats returns the run's statistics (valid after Run).

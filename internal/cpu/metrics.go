@@ -52,22 +52,22 @@ func newCoreMetrics() coreMetrics {
 	return coreMetrics{
 		reg: reg,
 
-		transExtra: reg.Histogram("tlb.translate.extra_cycles", []int64{0, 1, 2, 3, 4, 7, 15, 31}),
-		queueDepth: reg.Histogram("tlb.port.queue_depth", []int64{0, 1, 2, 3, 4, 7, 15}),
+		transExtra: reg.Histogram("tlb.translate_extra_cycles", []int64{0, 1, 2, 3, 4, 7, 15, 31}),
+		queueDepth: reg.Histogram("tlb.port_queue_depth", []int64{0, 1, 2, 3, 4, 7, 15}),
 		robOccup:   reg.Histogram("rob.occupancy", []int64{0, 8, 16, 24, 32, 40, 48, 56, 63}),
 
-		replayTLBNoPort:  reg.Counter("cpu.replay.tlb_noport"),
-		replayCachePort:  reg.Counter("cpu.replay.dcache_noport"),
-		replayStoreWait:  reg.Counter("cpu.replay.store_forward_wait"),
-		commitStoreRetry: reg.Counter("cpu.commit.store_port_retry"),
+		replayTLBNoPort:  reg.Counter("cpu.replay_tlb_noport"),
+		replayCachePort:  reg.Counter("cpu.replay_dcache_noport"),
+		replayStoreWait:  reg.Counter("cpu.replay_store_forward_wait"),
+		commitStoreRetry: reg.Counter("commit.store_port_retries"),
 
-		squashRecoveries: reg.Counter("cpu.squash.recoveries"),
-		squashedInsts:    reg.Counter("cpu.squash.insts"),
+		squashRecoveries: reg.Counter("cpu.squash_recoveries"),
+		squashedInsts:    reg.Counter("cpu.squash_insts"),
 
-		stallRedirect:  reg.Counter("fetch.stall.redirect_cycles"),
-		stallICache:    reg.Counter("fetch.stall.icache_cycles"),
-		stallITLB:      reg.Counter("fetch.stall.itlb_cycles"),
-		stallQueueFull: reg.Counter("fetch.stall.queue_full_cycles"),
+		stallRedirect:  reg.Counter("fetch.stall_redirect_cycles"),
+		stallICache:    reg.Counter("fetch.stall_icache_cycles"),
+		stallITLB:      reg.Counter("fetch.stall_itlb_cycles"),
+		stallQueueFull: reg.Counter("fetch.stall_queue_full_cycles"),
 	}
 }
 
@@ -77,11 +77,21 @@ func (m *Machine) Metrics() *stats.Registry { return m.metrics.reg }
 
 // observeCycle records the per-cycle gauges. Called once per tick after
 // the memory stage, so the queue-depth sample reflects this cycle's
-// completed port arbitration.
+// completed port arbitration. The interval sampler and progress
+// heartbeat piggyback here (both nil/off by default).
 func (m *Machine) observeCycle() {
 	m.metrics.robOccup.Observe(int64(m.rob.count))
 	m.metrics.queueDepth.Observe(m.metrics.noPortThisCycle)
+	if m.interval != nil {
+		m.intervalNoPort += m.metrics.noPortThisCycle
+		if m.cycle-m.intervalPrev.cycle >= m.interval.Every() {
+			m.sampleInterval()
+		}
+	}
 	m.metrics.noPortThisCycle = 0
+	if m.progress != nil && m.cycle%m.progressEvery == 0 {
+		m.progress(m.cycle, m.stats.Committed)
+	}
 }
 
 // countFetchStall attributes one stalled fetch cycle to its cause.
@@ -101,28 +111,28 @@ func (m *Machine) countFetchStall() {
 // registry so one snapshot is a self-contained export.
 func (m *Machine) syncAggregateMetrics() {
 	reg := m.metrics.reg
-	reg.Counter("cpu.commit.insts").Set(m.stats.Committed)
-	reg.Counter("cpu.commit.loads").Set(m.stats.CommittedLoads)
-	reg.Counter("cpu.commit.stores").Set(m.stats.CommittedStores)
-	reg.Counter("cpu.commit.branches").Set(m.stats.CommittedBranches)
+	reg.Counter("commit.insts").Set(m.stats.Committed)
+	reg.Counter("commit.loads").Set(m.stats.CommittedLoads)
+	reg.Counter("commit.stores").Set(m.stats.CommittedStores)
+	reg.Counter("commit.branches").Set(m.stats.CommittedBranches)
 	reg.Counter("cpu.cycles").Set(uint64(m.stats.Cycles))
 	reg.Counter("cpu.issued").Set(m.stats.Issued)
 	reg.Counter("cpu.fetched").Set(m.stats.Fetched)
 	reg.Counter("cpu.context_flushes").Set(m.stats.ContextFlushes)
 
-	reg.Counter("dispatch.stall.tlb_miss_cycles").Set(uint64(m.stats.DispatchTLBStalls))
-	reg.Counter("dispatch.stall.rob_full_cycles").Set(uint64(m.stats.DispatchROBFull))
-	reg.Counter("dispatch.stall.lsq_full_cycles").Set(uint64(m.stats.DispatchLSQFull))
-	reg.Counter("dispatch.stall.empty_cycles").Set(uint64(m.stats.DispatchEmptyCycles))
+	reg.Counter("dispatch.stall_tlb_miss_cycles").Set(uint64(m.stats.DispatchTLBStalls))
+	reg.Counter("dispatch.stall_rob_full_cycles").Set(uint64(m.stats.DispatchROBFull))
+	reg.Counter("dispatch.stall_lsq_full_cycles").Set(uint64(m.stats.DispatchLSQFull))
+	reg.Counter("dispatch.stall_empty_cycles").Set(uint64(m.stats.DispatchEmptyCycles))
 
 	ts := m.DTLB.Stats()
 	reg.Counter("tlb.lookups").Set(ts.Lookups)
 	reg.Counter("tlb.hits").Set(ts.Hits)
 	reg.Counter("tlb.misses").Set(ts.Misses)
 	reg.Counter("tlb.noport").Set(ts.NoPorts)
-	reg.Counter("tlb.piggyback.hits").Set(ts.Piggybacks)
-	reg.Counter("tlb.shield.hits").Set(ts.ShieldHits)
-	reg.Counter("tlb.shield.misses").Set(ts.ShieldMisses)
+	reg.Counter("tlb.piggyback_hits").Set(ts.Piggybacks)
+	reg.Counter("tlb.shield_hits").Set(ts.ShieldHits)
+	reg.Counter("tlb.shield_misses").Set(ts.ShieldMisses)
 	reg.Counter("tlb.queue_cycles").Set(ts.QueueCycles)
 	reg.Counter("tlb.status_writes").Set(ts.StatusWrites)
 	reg.Counter("tlb.walks").Set(ts.Fills)

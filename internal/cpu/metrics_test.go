@@ -36,9 +36,9 @@ func TestMetricsRegistryPopulated(t *testing.T) {
 	if !ok || rob.Count != uint64(s.Cycles) {
 		t.Errorf("rob.occupancy sampled %d cycles, ran %d", rob.Count, s.Cycles)
 	}
-	qd, ok := snap.Get("tlb.port.queue_depth")
+	qd, ok := snap.Get("tlb.port_queue_depth")
 	if !ok || qd.Count != uint64(s.Cycles) {
-		t.Errorf("tlb.port.queue_depth sampled %d cycles, ran %d", qd.Count, s.Cycles)
+		t.Errorf("tlb.port_queue_depth sampled %d cycles, ran %d", qd.Count, s.Cycles)
 	}
 	if qd.Sum != int64(s.TLBRetries) {
 		t.Errorf("queue-depth sum %d, TLBRetries %d", qd.Sum, s.TLBRetries)
@@ -47,17 +47,17 @@ func TestMetricsRegistryPopulated(t *testing.T) {
 		t.Error("T1 ran without a single port rejection; the test exerts no pressure")
 	}
 
-	lat, ok := snap.Get("tlb.translate.extra_cycles")
+	lat, ok := snap.Get("tlb.translate_extra_cycles")
 	if !ok || lat.Count != m.DTLB.Stats().Hits {
 		t.Errorf("translation-latency histogram has %d samples, device hit %d times",
 			lat.Count, m.DTLB.Stats().Hits)
 	}
 
 	for name, want := range map[string]uint64{
-		"cpu.replay.tlb_noport": s.TLBRetries,
-		"cpu.commit.insts":      s.Committed,
+		"cpu.replay_tlb_noport": s.TLBRetries,
+		"commit.insts":          s.Committed,
 		"cpu.cycles":            uint64(s.Cycles),
-		"cpu.squash.insts":      s.Squashed,
+		"cpu.squash_insts":      s.Squashed,
 		"tlb.noport":            m.DTLB.Stats().NoPorts,
 		"tlb.hits":              m.DTLB.Stats().Hits,
 		"dcache.hits":           m.DCacheStats().Hits,
@@ -121,13 +121,13 @@ func TestMetricsFetchStallCauses(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := m.Metrics().Snapshot()
-	byCause := snap.CounterValue("fetch.stall.redirect_cycles") +
-		snap.CounterValue("fetch.stall.icache_cycles") +
-		snap.CounterValue("fetch.stall.itlb_cycles")
+	byCause := snap.CounterValue("fetch.stall_redirect_cycles") +
+		snap.CounterValue("fetch.stall_icache_cycles") +
+		snap.CounterValue("fetch.stall_itlb_cycles")
 	if byCause != uint64(m.Stats().FetchStallCycles) {
 		t.Errorf("stall causes sum to %d, aggregate is %d", byCause, m.Stats().FetchStallCycles)
 	}
-	if snap.CounterValue("fetch.stall.redirect_cycles") == 0 {
+	if snap.CounterValue("fetch.stall_redirect_cycles") == 0 {
 		t.Error("gcc ran without a single mispredict-redirect stall")
 	}
 }

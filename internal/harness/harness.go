@@ -13,6 +13,7 @@ import (
 
 	"hbat/internal/cpu"
 	"hbat/internal/prog"
+	"hbat/internal/ptrace"
 	"hbat/internal/stats"
 	"hbat/internal/tlb"
 	"hbat/internal/workload"
@@ -38,6 +39,18 @@ type RunSpec struct {
 	// (cpu.Config.Lockstep): any architected-state divergence surfaces
 	// as the run's Err instead of silently skewing the statistics.
 	Lockstep bool
+
+	// Trace, when non-nil, records pipeline events into a ring buffer
+	// returned as RunResult.Trace (see internal/ptrace).
+	Trace *ptrace.Config
+	// IntervalEvery, when positive, samples interval time-series rows
+	// every N cycles into RunResult.Intervals.
+	IntervalEvery int64
+	// Progress, when non-nil, is called every ProgressEvery cycles
+	// (default 1<<20) with the live cycle and committed-instruction
+	// counts — the -progress heartbeat.
+	Progress      func(cycle int64, committed uint64)
+	ProgressEvery int64
 }
 
 func (s RunSpec) String() string {
@@ -55,6 +68,12 @@ type RunResult struct {
 	TLB     tlb.Stats
 	Metrics stats.Snapshot
 	Err     error
+
+	// Trace holds the recorded pipeline events when Spec.Trace was set.
+	Trace *ptrace.Recorder
+	// Intervals holds the sampled time series when Spec.IntervalEvery
+	// was positive.
+	Intervals *stats.IntervalSeries
 }
 
 // Run executes one simulation.
@@ -85,10 +104,25 @@ func Run(spec RunSpec) RunResult {
 		res.Err = err
 		return res
 	}
+	if spec.Trace != nil {
+		m.SetTracer(ptrace.New(*spec.Trace))
+	}
+	if spec.IntervalEvery > 0 {
+		m.EnableIntervalSampling(spec.IntervalEvery)
+	}
+	if spec.Progress != nil {
+		every := spec.ProgressEvery
+		if every <= 0 {
+			every = 1 << 20
+		}
+		m.SetProgress(every, spec.Progress)
+	}
 	err = m.Run()
 	res.Stats = *m.Stats()
 	res.TLB = *m.DTLB.Stats()
 	res.Metrics = m.Metrics().Snapshot()
+	res.Trace = m.Tracer()
+	res.Intervals = m.Intervals()
 	if err != nil {
 		res.Err = fmt.Errorf("%s: %w", spec, err)
 	}

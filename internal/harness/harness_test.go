@@ -53,7 +53,7 @@ func TestRunAllPreservesOrderAndReportsProgress(t *testing.T) {
 		if r.Err != nil {
 			t.Fatalf("run %d: %v", i, r.Err)
 		}
-		if r.Spec != specs[i] {
+		if r.Spec.String() != specs[i].String() {
 			t.Fatalf("result %d out of order: %v", i, r.Spec)
 		}
 	}

@@ -1,0 +1,173 @@
+package ptrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Perfetto/Chrome trace-event track layout. Process 0 holds one thread
+// per pipeline stage (instruction lifetimes render as duration slices
+// per stage); process 1 holds the translation and data-cache event
+// tracks (misses, port conflicts, and page-table-walk spans).
+const (
+	pidPipeline = 0
+	pidMemory   = 1
+
+	tidFetch    = 1
+	tidDispatch = 2
+	tidExecute  = 3
+	tidCommit   = 4
+
+	tidTLB    = 1
+	tidDCache = 2
+)
+
+// jstr renders s as a JSON string literal.
+func jstr(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return `"?"`
+	}
+	return string(b)
+}
+
+// span emits one complete ("X") duration event.
+func span(w io.Writer, pid, tid int, ts, dur int64, name string, args string) {
+	if dur < 1 {
+		dur = 1
+	}
+	fmt.Fprintf(w, ",\n{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":%s,\"args\":{%s}}",
+		pid, tid, ts, dur, jstr(name), args)
+}
+
+// instant emits one instant ("i") event (thread scope).
+func instant(w io.Writer, pid, tid int, ts int64, name string, args string) {
+	fmt.Fprintf(w, ",\n{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"name\":%s,\"args\":{%s}}",
+		pid, tid, ts, jstr(name), args)
+}
+
+// WritePerfetto exports the recorded events as Chrome/Perfetto
+// trace-event JSON, loadable in ui.perfetto.dev or chrome://tracing.
+// One simulated cycle maps to one microsecond of trace time.
+//
+// Instruction lifetimes become one duration slice per stage the
+// instruction was observed in: fetch (fetch queue residence), dispatch
+// (ROB wait before issue), execute (issue to completion), and commit
+// (completion to retirement). Slices of instructions still in flight
+// when the window closed are extended to the last recorded cycle.
+// Translation and cache events render as instants (misses, port
+// rejections) and spans (page-table walks) on their own tracks.
+func (r *Recorder) WritePerfetto(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	events := r.Events()
+	lives, _, maxCycle := lifetimes(events)
+
+	fmt.Fprint(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	// Track metadata. The first event has no leading comma.
+	fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":\"pipeline\"}}", pidPipeline)
+	for _, t := range []struct {
+		pid, tid int
+		name     string
+	}{
+		{pidPipeline, tidFetch, "fetch"},
+		{pidPipeline, tidDispatch, "dispatch"},
+		{pidPipeline, tidExecute, "execute"},
+		{pidPipeline, tidCommit, "commit"},
+		{pidMemory, tidTLB, "tlb"},
+		{pidMemory, tidDCache, "dcache"},
+	} {
+		fmt.Fprintf(bw, ",\n{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}",
+			t.pid, t.tid, jstr(t.name))
+	}
+	fmt.Fprintf(bw, ",\n{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":\"translation+memory\"}}", pidMemory)
+
+	// Per-instruction stage slices.
+	for _, l := range lives {
+		name := fmt.Sprintf("0x%x %s", l.pc, l.disasm())
+		end := l.retired()
+		if end < 0 {
+			end = maxCycle + 1
+		}
+		args := fmt.Sprintf("\"seq\":%d", l.seq)
+		if l.squash >= 0 {
+			args += ",\"squashed\":true"
+		}
+		if l.fault {
+			args += ",\"faulted\":true"
+		}
+		if l.tlbMisses > 0 {
+			args += fmt.Sprintf(",\"tlb_misses\":%d,\"walk_cycles\":%d", l.tlbMisses, l.walkCycles)
+		}
+		// Each slice runs from its stage event to the next observed
+		// stage boundary (or the instruction's end for the last one).
+		stages := []struct {
+			tid         int
+			start, stop int64
+		}{
+			{tidFetch, l.fetch, firstAtOrAfter(l.dispatch, end)},
+			{tidDispatch, l.dispatch, firstAtOrAfter(l.issue, end)},
+			{tidExecute, l.issue, firstAtOrAfter(l.complete, end)},
+			{tidCommit, l.complete, end},
+		}
+		for _, s := range stages {
+			if s.start < 0 {
+				continue
+			}
+			stop := s.stop
+			if stop < s.start {
+				stop = s.start + 1
+			}
+			span(bw, pidPipeline, s.tid, s.start, stop-s.start, name, args)
+		}
+	}
+
+	// Translation and cache tracks: walks as spans, the rest as
+	// instants.
+	walkStart := make(map[int64]int64)
+	for i := range events {
+		ev := &events[i]
+		args := fmt.Sprintf("\"seq\":%d,\"pc\":\"0x%x\"", ev.Seq, ev.PC)
+		switch ev.Kind {
+		case KTLBMiss, KTLBNoPort, KITLBMiss:
+			instant(bw, pidMemory, tidTLB, ev.Cycle, ev.Kind.String(), args)
+		case KWalkStart:
+			walkStart[ev.Seq] = ev.Cycle
+		case KWalkEnd:
+			start, ok := walkStart[ev.Seq]
+			if !ok {
+				start = ev.Cycle - ev.Arg
+			}
+			delete(walkStart, ev.Seq)
+			span(bw, pidMemory, tidTLB, start, ev.Cycle-start,
+				fmt.Sprintf("walk 0x%x", ev.PC), args)
+		case KDCacheMiss, KDCachePort:
+			instant(bw, pidMemory, tidDCache, ev.Cycle, ev.Kind.String(), args)
+		}
+	}
+	// Walks still in flight at the window's end, in seq order so the
+	// export stays byte-stable.
+	pending := make([]int64, 0, len(walkStart))
+	for seq := range walkStart {
+		pending = append(pending, seq)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	for _, seq := range pending {
+		start := walkStart[seq]
+		span(bw, pidMemory, tidTLB, start, maxCycle+1-start, "walk (in flight)",
+			fmt.Sprintf("\"seq\":%d", seq))
+	}
+
+	fmt.Fprint(bw, "\n]}\n")
+	return bw.Flush()
+}
+
+// firstAtOrAfter returns next if it is known (>= 0), else fallback.
+func firstAtOrAfter(next, fallback int64) int64 {
+	if next >= 0 {
+		return next
+	}
+	return fallback
+}

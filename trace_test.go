@@ -1,0 +1,144 @@
+package hbat
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// perfettoEvent is the subset of the Chrome trace-event schema the
+// exporter produces; unmarshalling into it validates the JSON shape.
+type perfettoEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+// TestPerfettoTraceValidates runs a bundled workload under the
+// interleaved-4 TLB, exports the Perfetto trace, and checks it is valid
+// trace-event JSON with named tracks, duration slices, and at least one
+// TLB-miss instant — i.e. a file ui.perfetto.dev will actually open.
+func TestPerfettoTraceValidates(t *testing.T) {
+	res, err := Simulate(Options{
+		Workload: "compress",
+		Design:   "I4",
+		Scale:    "test",
+		Trace:    &TraceOptions{Buffer: 1 << 19},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace captured")
+	}
+	var buf bytes.Buffer
+	if err := res.Trace.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []perfettoEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+
+	var spans, instants, tlbMisses int
+	tracks := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			var meta struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(e.Args, &meta); err == nil && meta.Name != "" {
+				tracks[meta.Name] = true
+			}
+		case "X":
+			spans++
+			if e.Dur <= 0 {
+				t.Fatalf("span %q has non-positive duration %v", e.Name, e.Dur)
+			}
+		case "i":
+			instants++
+			if e.Name == "tlb_miss" {
+				tlbMisses++
+			}
+		default:
+			t.Fatalf("unexpected event phase %q", e.Ph)
+		}
+	}
+	if spans == 0 {
+		t.Error("no duration (ph=X) slices exported")
+	}
+	if instants == 0 {
+		t.Error("no instant (ph=i) events exported")
+	}
+	if tlbMisses == 0 {
+		t.Error("trace shows no TLB-miss instants; the I4 run must miss at least once")
+	}
+	for _, want := range []string{"fetch", "dispatch", "execute", "commit", "tlb", "dcache"} {
+		if !tracks[want] {
+			t.Errorf("no %q track metadata (have %v)", want, tracks)
+		}
+	}
+}
+
+// TestTraceSummaryRenders checks the facade end of the text report.
+func TestTraceSummaryRenders(t *testing.T) {
+	res, err := Simulate(Options{
+		Workload: "compress",
+		Design:   "I4",
+		Scale:    "test",
+		Trace:    &TraceOptions{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Trace.WriteSummary(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"pipeline trace summary", "event census", "top stall causes", "longest-latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestIntervalCSVThroughFacade checks Options.IntervalEvery produces a
+// CSV time series with the documented columns.
+func TestIntervalCSVThroughFacade(t *testing.T) {
+	res, err := Simulate(Options{
+		Workload:      "compress",
+		Design:        "T4",
+		Scale:         "test",
+		IntervalEvery: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Intervals == nil {
+		t.Fatal("no interval series")
+	}
+	var buf bytes.Buffer
+	if err := res.Intervals.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "cycle,ipc,tlb.miss_rate,rob.occupancy,tlb.port_queue_depth" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) < 3 {
+		t.Errorf("only %d CSV lines for a multi-thousand-cycle run", len(lines))
+	}
+}
