@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test check bench experiments report cover clean
+.PHONY: all build test check bench bench-sweep experiments report cover clean
 
 all: build test
 
@@ -23,6 +23,12 @@ check:
 bench:
 	go test -bench=. -benchmem -benchtime=1x .
 
+# Time a test-scale full report with the sweep caches disabled vs
+# enabled; writes the wall times, ratio, and cache counters to
+# BENCH_sweep.json.
+bench-sweep:
+	go run ./cmd/hbat-bench-sweep -scale test -o BENCH_sweep.json
+
 # Regenerate every table and figure at small scale (minutes: use
 # SCALE=full for the EXPERIMENTS.md headline numbers).
 SCALE ?= small
@@ -36,4 +42,4 @@ cover:
 	go test -cover ./...
 
 clean:
-	rm -f report.html
+	rm -f report.html BENCH_sweep.json

@@ -1,11 +1,11 @@
 package hbat
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"hbat/internal/cpu"
-	"hbat/internal/harness"
 	"hbat/internal/model"
 )
 
@@ -28,18 +28,30 @@ type Analysis struct {
 // of the same program, then fits the paper's Section 2 model: how much
 // translation latency the design exposes (t_AT), how much of it the
 // core tolerates (f_TOL), and the resulting time-per-instruction cost.
+// It is AnalyzeContext with a background context.
 func Analyze(o Options) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), o)
+}
+
+// AnalyzeContext is Analyze with cancellation: both the design run and
+// the T4 baseline stop promptly once ctx is cancelled. The baseline is
+// memoized process-wide, so analyzing several designs of one workload
+// simulates the T4 reference once.
+func AnalyzeContext(ctx context.Context, o Options) (*Analysis, error) {
 	spec, err := o.spec()
 	if err != nil {
 		return nil, err
 	}
-	dev := harness.Run(spec)
+	if err := validateNames(spec); err != nil {
+		return nil, err
+	}
+	dev := defaultEngine.Run(ctx, spec)
 	if dev.Err != nil {
 		return nil, dev.Err
 	}
 	baseSpec := spec
 	baseSpec.Design = "T4"
-	base := harness.Run(baseSpec)
+	base := defaultEngine.Run(ctx, baseSpec)
 	if base.Err != nil {
 		return nil, base.Err
 	}

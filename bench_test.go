@@ -13,6 +13,7 @@ package hbat
 // cmd/hbat-experiments against the paper's reported values.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -41,7 +42,7 @@ func reportFigure(b *testing.B, f *harness.FigureResult) {
 // BenchmarkTable3 regenerates the baseline program characterization.
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Table3(benchOpts())
+		rows, err := harness.Table3(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -59,7 +60,7 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkFigure5 regenerates the baseline design comparison.
 func BenchmarkFigure5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f, err := harness.Figure5(benchOpts())
+		f, err := harness.Figure5(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func BenchmarkFigure5(b *testing.B) {
 // BenchmarkFigure6 regenerates the TLB miss-rate study.
 func BenchmarkFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f, err := harness.Figure6(benchOpts(), nil)
+		f, err := harness.Figure6(context.Background(), benchOpts(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,7 +88,7 @@ func BenchmarkFigure6(b *testing.B) {
 // BenchmarkFigure7 regenerates the in-order issue comparison.
 func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f, err := harness.Figure7(benchOpts())
+		f, err := harness.Figure7(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func BenchmarkFigure7(b *testing.B) {
 // BenchmarkFigure8 regenerates the 8 KB page comparison.
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f, err := harness.Figure8(benchOpts())
+		f, err := harness.Figure8(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -113,7 +114,7 @@ func BenchmarkFigure8(b *testing.B) {
 // BenchmarkFigure9 regenerates the reduced-register comparison.
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f, err := harness.Figure9(benchOpts())
+		f, err := harness.Figure9(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,125 @@
+// Command hbat-bench-sweep measures what the sweep engine's caches buy:
+// it generates the full report grid (table3 + fig5 + fig7 + fig8 +
+// fig9) once with both caches disabled and once with them enabled, and
+// writes the wall times, their ratio, and the cache counters as JSON
+// (BENCH_sweep.json by default). A third, fully-warm pass over the
+// enabled engine records the ceiling, where every spec is a memo hit.
+//
+// Usage:
+//
+//	hbat-bench-sweep                 # test scale, writes BENCH_sweep.json
+//	hbat-bench-sweep -scale small -o bench.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"hbat"
+)
+
+// artifacts is the grid the benchmark times: the five artifacts whose
+// specs overlap (table3's runs are fig5's T4 column; the figures share
+// every workload build).
+var artifacts = []string{"table3", "fig5", "fig7", "fig8", "fig9"}
+
+type result struct {
+	Scale     string   `json:"scale"`
+	Artifacts []string `json:"artifacts"`
+	// CachesOffSeconds rebuilds every program and re-simulates every
+	// spec; CachesOnSeconds shares builds and memoized runs across the
+	// artifacts; WarmPassSeconds repeats the cached pass (every spec a
+	// memo hit).
+	CachesOffSeconds float64 `json:"caches_off_seconds"`
+	CachesOnSeconds  float64 `json:"caches_on_seconds"`
+	WarmPassSeconds  float64 `json:"warm_pass_seconds"`
+	// Speedup is caches-off over caches-on wall time.
+	Speedup float64 `json:"speedup_off_over_on"`
+
+	BuildHits   uint64 `json:"build_hits"`
+	BuildMisses uint64 `json:"build_misses"`
+	SpecHits    uint64 `json:"spec_hits"`
+	SpecMisses  uint64 `json:"spec_misses"`
+}
+
+// pass generates every artifact once and returns the elapsed wall time.
+func pass(ctx context.Context, scale string, noCache bool) (time.Duration, error) {
+	opts := hbat.ExperimentOptions{Scale: scale, NoCache: noCache}
+	start := time.Now()
+	for _, name := range artifacts {
+		if err := hbat.RunExperimentContext(ctx, name, opts, io.Discard); err != nil {
+			return 0, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return time.Since(start), nil
+}
+
+func main() {
+	var (
+		scale = flag.String("scale", "test", "workload scale: test, small, or full")
+		out   = flag.String("o", "BENCH_sweep.json", "output JSON path")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res := result{Scale: *scale, Artifacts: artifacts}
+
+	// Caches off first: it never touches the process-wide engine, so
+	// the caches-on pass that follows still starts cold.
+	fmt.Fprintln(os.Stderr, "pass 1/3: caches off")
+	off, err := pass(ctx, *scale, true)
+	if err != nil {
+		fail(err)
+	}
+	res.CachesOffSeconds = off.Seconds()
+
+	fmt.Fprintln(os.Stderr, "pass 2/3: caches on (cold)")
+	on, err := pass(ctx, *scale, false)
+	if err != nil {
+		fail(err)
+	}
+	res.CachesOnSeconds = on.Seconds()
+
+	fmt.Fprintln(os.Stderr, "pass 3/3: caches on (warm)")
+	warm, err := pass(ctx, *scale, false)
+	if err != nil {
+		fail(err)
+	}
+	res.WarmPassSeconds = warm.Seconds()
+
+	if on > 0 {
+		res.Speedup = off.Seconds() / on.Seconds()
+	}
+	s := hbat.SweepStats()
+	res.BuildHits, res.BuildMisses = s.BuildHits, s.BuildMisses
+	res.SpecHits, res.SpecMisses = s.SpecHits, s.SpecMisses
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "caches off %.2fs, on %.2fs (%.2fx), warm %.2fs -> %s\n",
+		res.CachesOffSeconds, res.CachesOnSeconds, res.Speedup, res.WarmPassSeconds, *out)
+	os.Stdout.Write(data)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hbat-bench-sweep:", err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
+	os.Exit(1)
+}

@@ -1,6 +1,11 @@
 // Command hbat-experiments regenerates the tables and figures of the
 // paper's evaluation section (Table 2, Table 3, Figures 5-9).
 //
+// All artifacts of one invocation share the process-wide sweep engine:
+// each workload is built once and each unique simulation runs once,
+// however many figures reference it. Ctrl-C (SIGINT) cancels the sweep
+// promptly and exits non-zero.
+//
 // Usage:
 //
 //	hbat-experiments                 # everything, small scale
@@ -9,19 +14,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
-	"strings"
-	"time"
 
 	"hbat"
 )
 
 func main() {
 	var (
-		only   = flag.String("only", "", "run one artifact: table2, table3, fig5, fig6, fig7, fig8, fig9")
+		only   = flag.String("only", "", "run one artifact: table2, table3, fig5, fig6, fig7, fig8, fig9, model")
 		scale  = flag.String("scale", "small", "workload scale: test, small, or full")
 		par    = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		seed   = flag.Uint64("seed", 1, "seed for randomized structures")
@@ -30,6 +36,14 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	csvCapable := make(map[string]bool)
+	for _, name := range hbat.CSVExperimentNames() {
+		csvCapable[name] = true
+	}
+
 	names := hbat.ExperimentNames
 	if *only != "" {
 		names = []string{*only}
@@ -37,37 +51,51 @@ func main() {
 	for _, name := range names {
 		opts := hbat.ExperimentOptions{Scale: *scale, Parallelism: *par, Seed: *seed}
 		if !*quiet {
-			start := time.Now()
 			fmt.Fprintf(os.Stderr, "== %s (scale %s) ==\n", name, *scale)
-			opts.Progress = func(done, total int) {
-				if done == total || done%10 == 0 {
-					fmt.Fprintf(os.Stderr, "\r  %d/%d runs (%.0fs)", done, total, time.Since(start).Seconds())
-					if done == total {
+			opts.Progress = func(p hbat.RunProgress) {
+				if p.Done == p.Total || p.Done%10 == 0 {
+					fmt.Fprintf(os.Stderr, "\r  %d/%d runs (%.0fs elapsed, ~%.0fs left)",
+						p.Done, p.Total, p.Elapsed.Seconds(), p.ETA.Seconds())
+					if p.Done == p.Total {
 						fmt.Fprintln(os.Stderr)
 					}
 				}
 			}
 		}
-		if err := hbat.RunExperiment(name, opts, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "hbat-experiments:", err)
-			os.Exit(1)
+		if err := hbat.RunExperimentContext(ctx, name, opts, os.Stdout); err != nil {
+			fail(err)
 		}
 		fmt.Println()
-		if *csvDir != "" && strings.HasPrefix(name, "fig") && name != "fig6" {
+		if *csvDir != "" && csvCapable[name] {
 			path := filepath.Join(*csvDir, name+".csv")
 			f, err := os.Create(path)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "hbat-experiments:", err)
-				os.Exit(1)
+				fail(err)
 			}
 			csvOpts := opts
 			csvOpts.Progress = nil
-			if err := hbat.ExperimentCSV(name, csvOpts, f); err != nil {
-				fmt.Fprintln(os.Stderr, "hbat-experiments:", err)
-				os.Exit(1)
+			// The grid was just simulated for the text report, so the
+			// CSV pass is served entirely from the sweep cache.
+			if err := hbat.ExperimentCSVContext(ctx, name, csvOpts, f); err != nil {
+				fail(err)
 			}
 			f.Close()
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 	}
+	if !*quiet {
+		s := hbat.SweepStats()
+		fmt.Fprintf(os.Stderr, "sweep caches: %d/%d builds reused, %d/%d runs reused\n",
+			s.BuildHits, s.BuildHits+s.BuildMisses, s.SpecHits, s.SpecHits+s.SpecMisses)
+	}
+}
+
+// fail prints the error and exits non-zero (130 for an interrupt, the
+// conventional 128+SIGINT).
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hbat-experiments:", err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
+	os.Exit(1)
 }

@@ -4,9 +4,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"hbat"
 )
@@ -18,9 +21,15 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opts := hbat.ExperimentOptions{Scale: *scale, Seed: *seed}
-	if err := hbat.RunExperiment("fig6", opts, os.Stdout); err != nil {
+	if err := hbat.RunExperimentContext(ctx, "fig6", opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hbat-missrates:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }

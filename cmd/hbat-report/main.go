@@ -7,9 +7,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"hbat/internal/harness"
@@ -25,6 +28,9 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "seed for randomized structures")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var sc workload.Scale
 	switch *scale {
@@ -49,14 +55,18 @@ func main() {
 	start := time.Now()
 	opts := harness.Options{
 		Scale: sc, Parallelism: *par, Seed: *seed,
-		Progress: func(done, total int, _ *harness.RunResult) {
-			if done%20 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "\r%d/%d runs (%.0fs)", done, total, time.Since(start).Seconds())
+		Progress: func(p harness.Progress) {
+			if p.Done%20 == 0 || p.Done == p.Total {
+				fmt.Fprintf(os.Stderr, "\r%d/%d runs (%.0fs elapsed, ~%.0fs left)",
+					p.Done, p.Total, time.Since(start).Seconds(), p.ETA.Seconds())
 			}
 		},
 	}
-	if err := report.Generate(f, opts, nil, time.Now()); err != nil {
+	if err := report.Generate(ctx, f, opts, nil, time.Now()); err != nil {
 		fmt.Fprintln(os.Stderr, "\nhbat-report:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "\nwrote %s\n", *out)

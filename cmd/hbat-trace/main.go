@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -44,19 +46,23 @@ func main() {
 	if len(os.Args) < 2 {
 		fatalf("usage: hbat-trace capture|info|replay [flags]")
 	}
+	// Ctrl-C cancels the capture or replay loop promptly; fatalf exits
+	// non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	switch os.Args[1] {
 	case "capture":
-		capture(os.Args[2:])
+		capture(ctx, os.Args[2:])
 	case "info":
-		info(os.Args[2:])
+		info(ctx, os.Args[2:])
 	case "replay":
-		replay(os.Args[2:])
+		replay(ctx, os.Args[2:])
 	default:
 		fatalf("unknown subcommand %q", os.Args[1])
 	}
 }
 
-func capture(args []string) {
+func capture(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("capture", flag.ExitOnError)
 	wl := fs.String("workload", "compress", "workload to trace")
 	out := fs.String("o", "", "output trace file (required)")
@@ -85,7 +91,7 @@ func capture(args []string) {
 		fatalf("%v", err)
 	}
 	defer f.Close()
-	n, err := trace.Capture(p, *pageSize, f, *maxRefs)
+	n, err := trace.CaptureContext(ctx, p, *pageSize, f, *maxRefs)
 	if err != nil {
 		fatalf("capture: %v", err)
 	}
@@ -109,7 +115,7 @@ func openTrace(path string) *trace.Reader {
 	return r
 }
 
-func info(args []string) {
+func info(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("i", "", "trace file (required)")
 	fs.Parse(args)
@@ -125,6 +131,11 @@ func info(args []string) {
 		bits++
 	}
 	if err := r.ForEach(func(rec trace.Record) error {
+		if refs&65535 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		refs++
 		if rec.Write {
 			writes++
@@ -139,7 +150,7 @@ func info(args []string) {
 		len(pages), float64(len(pages))*float64(hdr.PageSize)/1024)
 }
 
-func replay(args []string) {
+func replay(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	in := fs.String("i", "", "trace file (required)")
 	sizesArg := fs.String("sizes", "4,8,16,32,64,128", "comma-separated TLB sizes")
@@ -166,7 +177,14 @@ func replay(args []string) {
 	for i, n := range sizes {
 		sims[i] = tlb.NewMissRateSim(n, tlb.ReplacementFor(n), *seed)
 	}
+	var seen uint64
 	if err := r.ForEach(func(rec trace.Record) error {
+		if seen&65535 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		seen++
 		vpn := rec.Addr >> bits
 		for _, s := range sims {
 			s.Ref(vpn)

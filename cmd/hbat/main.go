@@ -15,9 +15,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -44,7 +47,7 @@ func writeMetrics(path string, csv bool, snap hbat.MetricsSnapshot) error {
 	return snap.WriteJSON(out)
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		wl         = flag.String("workload", "compress", "workload name (see -list)")
 		design     = flag.String("design", "T4", "translation design mnemonic (see -list)")
@@ -160,7 +163,7 @@ func run() error {
 		return hbat.Disassemble(*wl, *scale, *fewRegs, os.Stdout)
 	}
 	if *analyze {
-		rep, err := hbat.Analyze(opts)
+		rep, err := hbat.AnalyzeContext(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -168,7 +171,7 @@ func run() error {
 		return exportMetrics(*metrics, *metricsCSV, rep.Metrics)
 	}
 
-	res, err := hbat.Simulate(opts)
+	res, err := hbat.SimulateContext(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -265,8 +268,15 @@ func exportMetrics(jsonPath, csvPath string, snap hbat.MetricsSnapshot) error {
 }
 
 func main() {
-	if err := run(); err != nil {
+	// Ctrl-C cancels the in-flight simulation at a cycle-granular
+	// check; the run exits non-zero (130, the conventional 128+SIGINT).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "hbat:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,171 @@
+package hbat
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"hbat/internal/harness"
+)
+
+// experiment is one registered evaluation artifact: how to run it as a
+// text report and, when it is a design-grid figure, how to produce the
+// underlying FigureResult for CSV export.
+type experiment struct {
+	name string
+	// run writes the experiment's text report.
+	run func(ctx context.Context, ho harness.Options, w io.Writer) error
+	// figure, when non-nil, marks the experiment CSV-capable and
+	// produces the grid the CSV is derived from.
+	figure func(ctx context.Context, ho harness.Options) (*harness.FigureResult, error)
+}
+
+// experiments is the registry, in the paper's presentation order.
+// RunExperiment, ExperimentCSV, ExperimentNames, and
+// CSVExperimentNames are all derived from it; registering a new
+// experiment here is the only step needed to expose it everywhere.
+var experiments = []experiment{
+	{
+		name: "table2",
+		run: func(_ context.Context, _ harness.Options, w io.Writer) error {
+			harness.RenderTable2(w)
+			return nil
+		},
+	},
+	{
+		name: "table3",
+		run: func(ctx context.Context, ho harness.Options, w io.Writer) error {
+			rows, err := harness.Table3(ctx, ho)
+			if err != nil {
+				return err
+			}
+			harness.RenderTable3(w, rows)
+			return nil
+		},
+	},
+	{name: "fig5", figure: harness.Figure5},
+	{
+		name: "fig6",
+		run: func(ctx context.Context, ho harness.Options, w io.Writer) error {
+			f, err := harness.Figure6(ctx, ho, nil)
+			if err != nil {
+				return err
+			}
+			harness.RenderFigure6(w, f)
+			return nil
+		},
+	},
+	{name: "fig7", figure: harness.Figure7},
+	{name: "fig8", figure: harness.Figure8},
+	{name: "fig9", figure: harness.Figure9},
+	{
+		name: "model",
+		run: func(ctx context.Context, ho harness.Options, w io.Writer) error {
+			rows, err := harness.ModelStudy(ctx, ho)
+			if err != nil {
+				return err
+			}
+			harness.RenderModelStudy(w, rows)
+			return nil
+		},
+	},
+}
+
+// renderFigure is the default text report for grid figures.
+func (e experiment) renderFigure(ctx context.Context, ho harness.Options, w io.Writer) error {
+	f, err := e.figure(ctx, ho)
+	if err != nil {
+		return err
+	}
+	harness.RenderFigure(w, f)
+	return nil
+}
+
+func lookupExperiment(name string) (experiment, error) {
+	for _, e := range experiments {
+		if e.name == name {
+			return e, nil
+		}
+	}
+	return experiment{}, fmt.Errorf("hbat: unknown experiment %q (known: %v)", name, ExperimentNames)
+}
+
+// ExperimentNames lists the experiments RunExperiment accepts, in the
+// paper's presentation order (derived from the registry). "model" is
+// this repository's addition: the paper's Section 2 analytical model
+// fitted to every design (DESIGN.md's experiment index).
+var ExperimentNames = func() []string {
+	names := make([]string, len(experiments))
+	for i, e := range experiments {
+		names[i] = e.name
+	}
+	return names
+}()
+
+// CSVExperimentNames lists the experiments ExperimentCSV accepts: the
+// design-grid figures.
+func CSVExperimentNames() []string {
+	var names []string
+	for _, e := range experiments {
+		if e.figure != nil {
+			names = append(names, e.name)
+		}
+	}
+	return names
+}
+
+// RunExperimentContext regenerates one of the paper's evaluation
+// artifacts and writes a text report to w, honoring ctx cancellation:
+// a cancelled context stops dispatching queued simulations, interrupts
+// in-flight ones at a cycle-granular check, and returns ctx.Err().
+// Successive calls from one process share the package's sweep engine,
+// so a spec that one experiment already simulated (for example Table
+// 3's T4 column, a subset of Figure 5's grid) is served from cache.
+// See ExperimentNames.
+func RunExperimentContext(ctx context.Context, name string, o ExperimentOptions, w io.Writer) error {
+	e, err := lookupExperiment(name)
+	if err != nil {
+		return err
+	}
+	ho, err := o.harness()
+	if err != nil {
+		return err
+	}
+	if e.run != nil {
+		return e.run(ctx, ho, w)
+	}
+	return e.renderFigure(ctx, ho, w)
+}
+
+// RunExperiment is RunExperimentContext with a background context.
+func RunExperiment(name string, o ExperimentOptions, w io.Writer) error {
+	return RunExperimentContext(context.Background(), name, o, w)
+}
+
+// ExperimentCSVContext runs one of the design-grid experiments (see
+// CSVExperimentNames) and writes machine-readable CSV for external
+// plotting, honoring ctx cancellation.
+func ExperimentCSVContext(ctx context.Context, name string, o ExperimentOptions, w io.Writer) error {
+	e, err := lookupExperiment(name)
+	if err != nil {
+		return err
+	}
+	if e.figure == nil {
+		return fmt.Errorf("hbat: no CSV form for experiment %q (CSV-capable: %v)", name, CSVExperimentNames())
+	}
+	ho, err := o.harness()
+	if err != nil {
+		return err
+	}
+	f, err := e.figure(ctx, ho)
+	if err != nil {
+		return err
+	}
+	harness.FigureCSV(w, f)
+	return nil
+}
+
+// ExperimentCSV is ExperimentCSVContext with a background context.
+func ExperimentCSV(name string, o ExperimentOptions, w io.Writer) error {
+	return ExperimentCSVContext(context.Background(), name, o, w)
+}

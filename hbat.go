@@ -14,8 +14,10 @@
 package hbat
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"hbat/internal/cpu"
 	"hbat/internal/harness"
@@ -25,6 +27,21 @@ import (
 	"hbat/internal/tlb"
 	"hbat/internal/workload"
 )
+
+// defaultEngine is the package's shared sweep engine: every simulation
+// and experiment driven through the facade shares its workload build
+// cache and RunSpec memoization, so regenerating several artifacts
+// from one process builds each program once and simulates each unique
+// spec once. Cached programs and results are immutable, which is what
+// makes process-wide sharing safe.
+var defaultEngine = harness.NewEngine()
+
+// SweepCacheStats is a point-in-time read of the shared sweep engine's
+// cache counters (workload builds and RunSpec memoization).
+type SweepCacheStats = harness.CacheStats
+
+// SweepStats returns the shared sweep engine's cache counters.
+func SweepStats() SweepCacheStats { return defaultEngine.CacheStats() }
 
 // Options selects what Simulate runs.
 type Options struct {
@@ -191,14 +208,39 @@ func (o Options) spec() (harness.RunSpec, error) {
 	return spec, nil
 }
 
+// validateNames rejects unknown workload or design names up front,
+// before the (comparatively expensive) program build, with errors that
+// name the valid choices.
+func validateNames(spec harness.RunSpec) error {
+	if _, err := workload.ByName(spec.Workload); err != nil {
+		return err
+	}
+	if _, err := tlb.LookupSpec(spec.Design); err != nil {
+		return err
+	}
+	return nil
+}
+
 // Simulate runs one workload on one translation design and returns the
-// run's statistics.
+// run's statistics. It is SimulateContext with a background context.
 func Simulate(o Options) (*Result, error) {
+	return SimulateContext(context.Background(), o)
+}
+
+// SimulateContext runs one workload on one translation design,
+// honoring ctx: a cancelled context interrupts the simulation at a
+// cycle-granular check and returns ctx.Err(). Deterministic,
+// untraced runs are memoized process-wide, so repeating an identical
+// simulation returns immediately.
+func SimulateContext(ctx context.Context, o Options) (*Result, error) {
 	spec, err := o.spec()
 	if err != nil {
 		return nil, err
 	}
-	r := harness.Run(spec)
+	if err := validateNames(spec); err != nil {
+		return nil, err
+	}
+	r := defaultEngine.Run(ctx, spec)
 	if r.Err != nil {
 		return nil, r.Err
 	}
@@ -260,6 +302,23 @@ func WorkloadDescription(name string) (string, error) {
 	return w.Model, nil
 }
 
+// RunProgress reports one completed simulation inside an experiment
+// grid.
+type RunProgress struct {
+	// Done runs have finished out of Total.
+	Done, Total int
+	// Spec labels the run that just finished
+	// (workload/design/mode/pages/budget).
+	Spec string
+	// Wall is that run's wall time; Cached reports it was served from
+	// the process-wide result cache instead of being simulated.
+	Wall   time.Duration
+	Cached bool
+	// Elapsed is wall time since the experiment started; ETA estimates
+	// the remaining wall time (zero until the scheduler has data).
+	Elapsed, ETA time.Duration
+}
+
 // ExperimentOptions configures a full-grid experiment.
 type ExperimentOptions struct {
 	// Scale is "test", "small", or "full" (default "small").
@@ -271,8 +330,13 @@ type ExperimentOptions struct {
 	// Workloads/Designs restrict the grid (nil = everything).
 	Workloads []string
 	Designs   []string
+	// NoCache bypasses the process-wide sweep engine: every program is
+	// rebuilt and every spec re-simulated. Exists for benchmarking the
+	// caches (see cmd/hbat-bench-sweep); production callers want the
+	// default.
+	NoCache bool
 	// Progress, when non-nil, is called after each completed run.
-	Progress func(done, total int)
+	Progress func(RunProgress)
 }
 
 func (o ExperimentOptions) harness() (harness.Options, error) {
@@ -286,114 +350,31 @@ func (o ExperimentOptions) harness() (harness.Options, error) {
 		Seed:        o.Seed,
 		Workloads:   o.Workloads,
 		Designs:     o.Designs,
+		Engine:      defaultEngine,
+	}
+	if o.NoCache {
+		e := harness.NewEngine()
+		e.NoBuildCache = true
+		e.NoMemo = true
+		ho.Engine = e
 	}
 	if o.Progress != nil {
 		p := o.Progress
-		ho.Progress = func(done, total int, _ *harness.RunResult) { p(done, total) }
+		ho.Progress = func(hp harness.Progress) {
+			rp := RunProgress{
+				Done: hp.Done, Total: hp.Total,
+				Elapsed: hp.Elapsed, ETA: hp.ETA,
+			}
+			if hp.Result != nil {
+				rp.Spec = hp.Result.Spec.String()
+				rp.Wall = hp.Result.Wall
+				rp.Cached = hp.Result.Cached
+			}
+			p(rp)
+		}
 	}
 	return ho, nil
 }
-
-// Experiment names accepted by RunExperiment. "model" is this
-// repository's addition: the paper's Section 2 analytical model fitted
-// to every design (DESIGN.md's experiment index).
-var ExperimentNames = []string{"table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "model"}
-
-// RunExperiment regenerates one of the paper's evaluation artifacts and
-// writes a text report to w. See ExperimentNames.
-func RunExperiment(name string, o ExperimentOptions, w io.Writer) error {
-	ho, err := o.harness()
-	if err != nil {
-		return err
-	}
-	switch name {
-	case "table2":
-		harness.RenderTable2(w)
-		return nil
-	case "table3":
-		rows, err := harness.Table3(ho)
-		if err != nil {
-			return err
-		}
-		harness.RenderTable3(w, rows)
-		return nil
-	case "fig5", "fig7", "fig8", "fig9":
-		var f *harness.FigureResult
-		switch name {
-		case "fig5":
-			f, err = harness.Figure5(ho)
-		case "fig7":
-			f, err = harness.Figure7(ho)
-		case "fig8":
-			f, err = harness.Figure8(ho)
-		case "fig9":
-			f, err = harness.Figure9(ho)
-		}
-		if err != nil {
-			return err
-		}
-		harness.RenderFigure(w, f)
-		return nil
-	case "fig6":
-		f, err := harness.Figure6(ho, nil)
-		if err != nil {
-			return err
-		}
-		harness.RenderFigure6(w, f)
-		return nil
-	case "model":
-		rows, err := harness.ModelStudy(ho)
-		if err != nil {
-			return err
-		}
-		harness.RenderModelStudy(w, rows)
-		return nil
-	}
-	return fmt.Errorf("hbat: unknown experiment %q (known: %v)", name, ExperimentNames)
-}
-
-// ExperimentCSV runs one of the design-grid experiments (fig5, fig7,
-// fig8, fig9) and writes machine-readable CSV for external plotting.
-func ExperimentCSV(name string, o ExperimentOptions, w io.Writer) error {
-	ho, err := o.harness()
-	if err != nil {
-		return err
-	}
-	var f *harnessFigure
-	switch name {
-	case "fig5":
-		f0, err := harness.Figure5(ho)
-		if err != nil {
-			return err
-		}
-		f = f0
-	case "fig7":
-		f0, err := harness.Figure7(ho)
-		if err != nil {
-			return err
-		}
-		f = f0
-	case "fig8":
-		f0, err := harness.Figure8(ho)
-		if err != nil {
-			return err
-		}
-		f = f0
-	case "fig9":
-		f0, err := harness.Figure9(ho)
-		if err != nil {
-			return err
-		}
-		f = f0
-	default:
-		return fmt.Errorf("hbat: no CSV form for experiment %q", name)
-	}
-	harness.FigureCSV(w, f)
-	return nil
-}
-
-// harnessFigure aliases the harness result for the facade's signature.
-type harnessFigure = harness.FigureResult
 
 // Disassemble writes a listing of the named workload's generated code
 // (labels, spill code, data segments) under the given register budget —

@@ -1,6 +1,9 @@
 package hbat
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -27,6 +30,44 @@ func TestSimulateValidation(t *testing.T) {
 	}
 	if _, err := Simulate(Options{Scale: "nope"}); err == nil {
 		t.Error("unknown scale accepted")
+	}
+}
+
+func TestSimulateUnknownNamesListChoices(t *testing.T) {
+	_, err := Simulate(Options{Workload: "nope", Scale: "test"})
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if !strings.Contains(err.Error(), "compress") {
+		t.Errorf("workload error does not list valid names: %v", err)
+	}
+	_, err = Simulate(Options{Design: "Z9", Scale: "test"})
+	if err == nil {
+		t.Fatal("unknown design accepted")
+	}
+	if !strings.Contains(err.Error(), "T4") {
+		t.Errorf("design error does not list valid names: %v", err)
+	}
+}
+
+func TestSimulateContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SimulateContext(ctx, Options{Scale: "test"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepStatsAccumulate(t *testing.T) {
+	if _, err := Simulate(Options{Workload: "perl", Design: "T4", Scale: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	s := SweepStats()
+	if s.BuildHits+s.BuildMisses == 0 {
+		t.Error("no build-cache activity recorded on the process engine")
+	}
+	if s.SpecHits+s.SpecMisses == 0 {
+		t.Error("no memo activity recorded on the process engine")
 	}
 }
 
@@ -111,7 +152,7 @@ func TestRunExperimentSmallGrid(t *testing.T) {
 		Designs:   []string{"T4", "M8", "PB2"},
 	}
 	progressed := false
-	opts.Progress = func(done, total int) { progressed = true }
+	opts.Progress = func(RunProgress) { progressed = true }
 	if err := RunExperiment("fig5", opts, &sb); err != nil {
 		t.Fatal(err)
 	}
@@ -134,6 +175,33 @@ func TestRunExperimentSmallGrid(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "128") {
 		t.Error("fig6 output incomplete")
+	}
+}
+
+func TestExperimentRegistryDerivedNames(t *testing.T) {
+	want := []string{"table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "model"}
+	if !reflect.DeepEqual(ExperimentNames, want) {
+		t.Errorf("ExperimentNames = %v, want %v", ExperimentNames, want)
+	}
+	if got, want := CSVExperimentNames(), []string{"fig5", "fig7", "fig8", "fig9"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("CSVExperimentNames = %v, want %v", got, want)
+	}
+}
+
+func TestExperimentCSVRejectsNonCSVExperiments(t *testing.T) {
+	var sb strings.Builder
+	err := ExperimentCSV("table2", ExperimentOptions{Scale: "test"}, &sb)
+	if err == nil {
+		t.Fatal("CSV accepted for a non-grid experiment")
+	}
+	for _, want := range []string{"table2", "fig5", "fig7", "fig8", "fig9"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("rejection does not name %q: %v", want, err)
+		}
+	}
+	err = ExperimentCSV("fig99", ExperimentOptions{Scale: "test"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "table3") {
+		t.Errorf("unknown experiment error does not list known names: %v", err)
 	}
 }
 

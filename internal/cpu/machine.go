@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -113,7 +114,19 @@ type Machine struct {
 	// (long-run heartbeat; see SetProgress).
 	progress      func(cycle int64, committed uint64)
 	progressEvery int64
+
+	// cancelCtx/cancelDone implement cooperative cancellation: Run
+	// polls cancelDone at a cycle-granular interval and stops with
+	// cancelCtx.Err() when it closes (see SetCancel).
+	cancelCtx  context.Context
+	cancelDone <-chan struct{}
 }
+
+// cancelCheckMask throttles the cancellation poll to every 4096 cycles:
+// fine-grained enough that cancellation lands within microseconds of
+// wall time, coarse enough that the channel select never shows up in a
+// profile.
+const cancelCheckMask = 4096 - 1
 
 // intervalBase snapshots the counters an interval sample differences
 // against.
@@ -296,9 +309,10 @@ func (m *Machine) tick() {
 	}
 }
 
-// Run simulates until the program halts, a limit is reached, or an
-// error occurs. It returns nil on a clean halt or on reaching the
-// committed-instruction budget.
+// Run simulates until the program halts, a limit is reached, the
+// machine's context (SetCancel) is cancelled, or an error occurs. It
+// returns nil on a clean halt or on reaching the committed-instruction
+// budget, and the context's error when cancelled.
 func (m *Machine) Run() error {
 	for !m.halted && m.err == nil {
 		if m.cfg.MaxInsts > 0 && m.stats.Committed >= m.cfg.MaxInsts {
@@ -306,6 +320,16 @@ func (m *Machine) Run() error {
 		}
 		if m.cfg.MaxCycles > 0 && m.cycle >= m.cfg.MaxCycles {
 			break
+		}
+		if m.cancelDone != nil && m.cycle&cancelCheckMask == 0 {
+			select {
+			case <-m.cancelDone:
+				m.err = m.cancelCtx.Err()
+			default:
+			}
+			if m.err != nil {
+				break
+			}
 		}
 		m.tick()
 	}
@@ -319,6 +343,19 @@ func (m *Machine) Run() error {
 	}
 	m.syncAggregateMetrics()
 	return m.err
+}
+
+// SetCancel arranges for Run to stop with ctx.Err() once ctx is
+// cancelled, checked at a cycle-granular interval so an in-flight
+// simulation is interrupted promptly. Call before Run; a nil ctx (or
+// one that can never be cancelled) disables the check entirely, which
+// keeps the run loop's fast path a single nil comparison.
+func (m *Machine) SetCancel(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		m.cancelCtx, m.cancelDone = nil, nil
+		return
+	}
+	m.cancelCtx, m.cancelDone = ctx, ctx.Done()
 }
 
 // SetTracer attaches a pipeline event recorder (nil detaches). With no

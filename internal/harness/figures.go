@@ -1,12 +1,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"hbat/internal/emu"
 	"hbat/internal/prog"
 	"hbat/internal/tlb"
-	"hbat/internal/workload"
 )
 
 // FigureResult holds one design-comparison experiment (Figures 5, 7, 8,
@@ -71,7 +72,7 @@ func (f *FigureResult) WeightedAvgIPC(design string) float64 {
 
 // designFigure runs the full design × workload grid for one machine
 // variation.
-func designFigure(name, caption string, opts Options, pageSize uint64, inOrder bool, budget prog.RegBudget) (*FigureResult, error) {
+func designFigure(ctx context.Context, name, caption string, opts Options, pageSize uint64, inOrder bool, budget prog.RegBudget) (*FigureResult, error) {
 	designs := opts.designs()
 	wls := opts.workloads()
 
@@ -84,7 +85,10 @@ func designFigure(name, caption string, opts Options, pageSize uint64, inOrder b
 			})
 		}
 	}
-	results := RunAll(specs, opts.Parallelism, opts.Progress)
+	results, err := opts.engine().RunAll(ctx, specs, opts.Parallelism, opts.Progress)
+	if err != nil {
+		return nil, err
+	}
 
 	f := &FigureResult{
 		Name: name, Caption: caption,
@@ -118,30 +122,30 @@ func designFigure(name, caption string, opts Options, pageSize uint64, inOrder b
 // Figure5 reproduces the paper's Figure 5: relative performance of all
 // analyzed designs on the baseline 8-way out-of-order processor with
 // 4 KB pages and 32/32 registers.
-func Figure5(opts Options) (*FigureResult, error) {
-	return designFigure("fig5",
+func Figure5(ctx context.Context, opts Options) (*FigureResult, error) {
+	return designFigure(ctx, "fig5",
 		"Relative Performance on Baseline Simulator (8-way OoO, 4k pages, 32 int/32 fp regs)",
 		opts, 4096, false, prog.Budget32)
 }
 
 // Figure7 reproduces Figure 7: the same grid with in-order issue.
-func Figure7(opts Options) (*FigureResult, error) {
-	return designFigure("fig7",
+func Figure7(ctx context.Context, opts Options) (*FigureResult, error) {
+	return designFigure(ctx, "fig7",
 		"Relative Performance with In-order Issue (8-way, 4k pages, 32 int/32 fp regs)",
 		opts, 4096, true, prog.Budget32)
 }
 
 // Figure8 reproduces Figure 8: the baseline grid with 8 KB pages.
-func Figure8(opts Options) (*FigureResult, error) {
-	return designFigure("fig8",
+func Figure8(ctx context.Context, opts Options) (*FigureResult, error) {
+	return designFigure(ctx, "fig8",
 		"Relative Performance with 8k Pages (8-way OoO, 32 int/32 fp regs)",
 		opts, 8192, false, prog.Budget32)
 }
 
 // Figure9 reproduces Figure 9: the baseline grid with programs
 // recompiled for 8 integer and 8 floating-point registers.
-func Figure9(opts Options) (*FigureResult, error) {
-	return designFigure("fig9",
+func Figure9(ctx context.Context, opts Options) (*FigureResult, error) {
+	return designFigure(ctx, "fig9",
 		"Relative Performance with Fewer Registers (8 int/8 fp, 8-way OoO, 4k pages)",
 		opts, 4096, false, prog.Budget8)
 }
@@ -161,7 +165,7 @@ type Table3Row struct {
 
 // Table3 reproduces the paper's Table 3: program execution performance
 // on the baseline 8-way out-of-order processor with a four-ported TLB.
-func Table3(opts Options) ([]Table3Row, error) {
+func Table3(ctx context.Context, opts Options) ([]Table3Row, error) {
 	wls := opts.workloads()
 	specs := make([]RunSpec, len(wls))
 	for i, w := range wls {
@@ -170,7 +174,10 @@ func Table3(opts Options) ([]Table3Row, error) {
 			Scale: opts.Scale, PageSize: 4096, Seed: opts.seed(),
 		}
 	}
-	results := RunAll(specs, opts.Parallelism, opts.Progress)
+	results, err := opts.engine().RunAll(ctx, specs, opts.Parallelism, opts.Progress)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]Table3Row, 0, len(results))
 	for _, r := range results {
 		if r.Err != nil {
@@ -225,8 +232,9 @@ func (f *Figure6Result) RTWAvg(size int) float64 {
 // by functional execution and fed to all six sizes. weights gives the
 // run-time weighting (e.g. T4 cycles from Figure 5); if nil, committed
 // instruction counts are used.
-func Figure6(opts Options, weights map[string]float64) (*Figure6Result, error) {
+func Figure6(ctx context.Context, opts Options, weights map[string]float64) (*Figure6Result, error) {
 	wls := opts.workloads()
+	eng := opts.engine()
 	f := &Figure6Result{
 		Sizes:     Figure6Sizes,
 		Workloads: wls,
@@ -247,12 +255,12 @@ func Figure6(opts Options, weights map[string]float64) (*Figure6Result, error) {
 	}
 	// Functional simulation is cheap; run serially per workload but the
 	// six TLB models concurrently via one pass over the stream.
+	start := time.Now()
 	for i, name := range wls {
-		w, err := workload.ByName(name)
-		if err != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		p, err := w.Build(prog.Budget32, opts.Scale)
+		p, err := eng.buildProgram(RunSpec{Workload: name, Budget: prog.Budget32, Scale: opts.Scale})
 		if err != nil {
 			return nil, err
 		}
@@ -281,7 +289,11 @@ func Figure6(opts Options, weights map[string]float64) (*Figure6Result, error) {
 		jobs[i].mr = mr
 		jobs[i].wt = float64(m.InstCount)
 		if opts.Progress != nil {
-			opts.Progress(i+1, len(wls), &RunResult{Spec: specs[i]})
+			opts.Progress(Progress{
+				Done: i + 1, Total: len(wls),
+				Result:  &RunResult{Spec: specs[i]},
+				Elapsed: time.Since(start),
+			})
 		}
 	}
 	for _, j := range jobs {

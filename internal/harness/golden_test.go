@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -70,7 +71,7 @@ func goldenOpts() Options {
 }
 
 func TestGoldenFigureReport(t *testing.T) {
-	f, err := Figure5(goldenOpts())
+	f, err := Figure5(context.Background(), goldenOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestGoldenTable2(t *testing.T) {
 }
 
 func TestGoldenTable3(t *testing.T) {
-	rows, err := Table3(goldenOpts())
+	rows, err := Table3(context.Background(), goldenOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestGoldenTable3(t *testing.T) {
 }
 
 func TestGoldenFigure6(t *testing.T) {
-	f, err := Figure6(goldenOpts(), nil)
+	f, err := Figure6(context.Background(), goldenOpts(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestGoldenFigure6(t *testing.T) {
 }
 
 func TestGoldenModelStudy(t *testing.T) {
-	rows, err := ModelStudy(goldenOpts())
+	rows, err := ModelStudy(context.Background(), goldenOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

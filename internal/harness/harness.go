@@ -7,9 +7,9 @@
 package harness
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
+	"time"
 
 	"hbat/internal/cpu"
 	"hbat/internal/prog"
@@ -69,6 +69,12 @@ type RunResult struct {
 	Metrics stats.Snapshot
 	Err     error
 
+	// Wall is the run's wall-clock time (zero for memo-cache hits).
+	Wall time.Duration
+	// Cached reports the result was served from an Engine's RunSpec
+	// memoization cache instead of being simulated.
+	Cached bool
+
 	// Trace holds the recorded pipeline events when Spec.Trace was set.
 	Trace *ptrace.Recorder
 	// Intervals holds the sampled time series when Spec.IntervalEvery
@@ -76,90 +82,24 @@ type RunResult struct {
 	Intervals *stats.IntervalSeries
 }
 
-// Run executes one simulation.
+// Run executes one simulation on a private engine. Callers that run
+// more than one spec should use an Engine (or RunAll) to share builds
+// and memoized results.
 func Run(spec RunSpec) RunResult {
-	res := RunResult{Spec: spec}
-	w, err := workload.ByName(spec.Workload)
-	if err != nil {
-		res.Err = err
-		return res
-	}
-	p, err := w.Build(spec.Budget, spec.Scale)
-	if err != nil {
-		res.Err = err
-		return res
-	}
-	cfg := cpu.DefaultConfig()
-	cfg.PageSize = spec.PageSize
-	cfg.InOrder = spec.InOrder
-	cfg.MaxInsts = spec.MaxInsts
-	cfg.VirtualCache = spec.VirtualCache
-	cfg.FlushTLBEvery = spec.ContextSwitchEvery
-	cfg.Lockstep = spec.Lockstep
-	if spec.Seed != 0 {
-		cfg.Seed = spec.Seed
-	}
-	m, err := cpu.NewWithDesign(p, cfg, spec.Design)
-	if err != nil {
-		res.Err = err
-		return res
-	}
-	if spec.Trace != nil {
-		m.SetTracer(ptrace.New(*spec.Trace))
-	}
-	if spec.IntervalEvery > 0 {
-		m.EnableIntervalSampling(spec.IntervalEvery)
-	}
-	if spec.Progress != nil {
-		every := spec.ProgressEvery
-		if every <= 0 {
-			every = 1 << 20
-		}
-		m.SetProgress(every, spec.Progress)
-	}
-	err = m.Run()
-	res.Stats = *m.Stats()
-	res.TLB = *m.DTLB.Stats()
-	res.Metrics = m.Metrics().Snapshot()
-	res.Trace = m.Tracer()
-	res.Intervals = m.Intervals()
-	if err != nil {
-		res.Err = fmt.Errorf("%s: %w", spec, err)
-	}
-	return res
+	return RunContext(context.Background(), spec)
 }
 
-// RunAll executes specs with bounded parallelism (0 = GOMAXPROCS),
-// reporting progress after each completion when progress is non-nil.
-// Results are returned in spec order.
-func RunAll(specs []RunSpec, parallelism int, progress func(done, total int, r *RunResult)) []RunResult {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	results := make([]RunResult, len(specs))
-	var (
-		mu   sync.Mutex
-		done int
-		wg   sync.WaitGroup
-	)
-	sem := make(chan struct{}, parallelism)
-	for i := range specs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = Run(specs[i])
-			if progress != nil {
-				mu.Lock()
-				done++
-				progress(done, len(specs), &results[i])
-				mu.Unlock()
-			}
-		}(i)
-	}
-	wg.Wait()
-	return results
+// RunContext executes one simulation on a private engine, honoring ctx
+// cancellation at a cycle-granular check.
+func RunContext(ctx context.Context, spec RunSpec) RunResult {
+	return NewEngine().Run(ctx, spec)
+}
+
+// RunAll executes specs on a private engine with bounded parallelism
+// (0 = GOMAXPROCS); see Engine.RunAll for the scheduling and
+// cancellation contract.
+func RunAll(ctx context.Context, specs []RunSpec, parallelism int, progress func(Progress)) ([]RunResult, error) {
+	return NewEngine().RunAll(ctx, specs, parallelism, progress)
 }
 
 // Options configures an experiment run.
@@ -171,8 +111,24 @@ type Options struct {
 	Workloads []string
 	// Designs restricts the design set (nil = Table 2's thirteen).
 	Designs []string
-	// Progress, when non-nil, receives per-run completions.
-	Progress func(done, total int, r *RunResult)
+	// Engine, when non-nil, supplies the sweep engine: its build cache
+	// and RunSpec memo are shared across every experiment driven
+	// through it, so regenerating several figures from one process
+	// never rebuilds a program or re-simulates a spec. When nil, each
+	// experiment call uses a private engine (builds are still shared
+	// within the call).
+	Engine *Engine
+	// Progress, when non-nil, receives per-run completions with wall
+	// time and an ETA.
+	Progress func(Progress)
+}
+
+// engine returns the configured engine or a private one.
+func (o *Options) engine() *Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return NewEngine()
 }
 
 func (o *Options) workloads() []string {

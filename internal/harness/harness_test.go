@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -40,12 +41,15 @@ func TestRunAllPreservesOrderAndReportsProgress(t *testing.T) {
 		{Workload: "doduc", Design: "M8", Budget: prog.Budget32, Scale: workload.ScaleTest, PageSize: 4096},
 	}
 	calls := 0
-	results := RunAll(specs, 2, func(done, total int, r *RunResult) {
+	results, err := RunAll(context.Background(), specs, 2, func(p Progress) {
 		calls++
-		if total != 3 {
-			t.Errorf("total = %d", total)
+		if p.Total != 3 {
+			t.Errorf("total = %d", p.Total)
 		}
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if calls != 3 {
 		t.Fatalf("progress calls = %d", calls)
 	}
@@ -70,7 +74,7 @@ func testFigureOpts() Options {
 }
 
 func TestFigure5ShapeOnSubset(t *testing.T) {
-	f, err := Figure5(testFigureOpts())
+	f, err := Figure5(context.Background(), testFigureOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,11 +103,11 @@ func TestFigure5ShapeOnSubset(t *testing.T) {
 
 func TestFigure7InOrderIsSlowerButCloser(t *testing.T) {
 	opts := testFigureOpts()
-	f5, err := Figure5(opts)
+	f5, err := Figure5(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f7, err := Figure7(opts)
+	f7, err := Figure7(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +124,11 @@ func TestFigure7InOrderIsSlowerButCloser(t *testing.T) {
 
 func TestFigure9FewRegistersRaisesTraffic(t *testing.T) {
 	opts := testFigureOpts()
-	f5, err := Figure5(opts)
+	f5, err := Figure5(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f9, err := Figure9(opts)
+	f9, err := Figure9(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +144,7 @@ func TestFigure9FewRegistersRaisesTraffic(t *testing.T) {
 }
 
 func TestTable3Characterization(t *testing.T) {
-	rows, err := Table3(Options{Scale: workload.ScaleTest, Seed: 1})
+	rows, err := Table3(context.Background(), Options{Scale: workload.ScaleTest, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +165,7 @@ func TestTable3Characterization(t *testing.T) {
 }
 
 func TestFigure6MonotoneInSize(t *testing.T) {
-	f, err := Figure6(Options{Scale: workload.ScaleTest, Seed: 1}, nil)
+	f, err := Figure6(context.Background(), Options{Scale: workload.ScaleTest, Seed: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +190,7 @@ func TestFigure6MonotoneInSize(t *testing.T) {
 
 func TestRenderers(t *testing.T) {
 	opts := testFigureOpts()
-	f, err := Figure5(opts)
+	f, err := Figure5(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +212,7 @@ func TestRenderers(t *testing.T) {
 	if !strings.Contains(sb.String(), "I4/PB") {
 		t.Error("Table 2 output missing designs")
 	}
-	rows, err := Table3(Options{Scale: workload.ScaleTest, Workloads: []string{"perl"}})
+	rows, err := Table3(context.Background(), Options{Scale: workload.ScaleTest, Workloads: []string{"perl"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +221,7 @@ func TestRenderers(t *testing.T) {
 	if !strings.Contains(sb.String(), "perl") {
 		t.Error("Table 3 output missing workload")
 	}
-	f6, err := Figure6(Options{Scale: workload.ScaleTest, Workloads: []string{"perl"}}, nil)
+	f6, err := Figure6(context.Background(), Options{Scale: workload.ScaleTest, Workloads: []string{"perl"}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +233,7 @@ func TestRenderers(t *testing.T) {
 }
 
 func TestModelStudy(t *testing.T) {
-	rows, err := ModelStudy(Options{
+	rows, err := ModelStudy(context.Background(), Options{
 		Scale:     workload.ScaleTest,
 		Seed:      1,
 		Workloads: []string{"xlisp", "espresso"},
@@ -264,7 +268,7 @@ func TestPaperHeadlineOrderings(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full design grid")
 	}
-	f, err := Figure5(Options{
+	f, err := Figure5(context.Background(), Options{
 		Scale:     workload.ScaleTest,
 		Seed:      1,
 		Workloads: []string{"espresso", "xlisp", "mpeg_play", "ghostscript"},

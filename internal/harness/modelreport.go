@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,7 +29,7 @@ type ModelRow struct {
 // model to every design over the workload set: each design's runs are
 // compared to the T4 baseline, and the fitted quantities are run-time
 // weighted the same way the figures are.
-func ModelStudy(opts Options) ([]ModelRow, error) {
+func ModelStudy(ctx context.Context, opts Options) ([]ModelRow, error) {
 	designs := opts.designs()
 	wls := opts.workloads()
 
@@ -41,7 +42,10 @@ func ModelStudy(opts Options) ([]ModelRow, error) {
 			})
 		}
 	}
-	results := RunAll(specs, opts.Parallelism, opts.Progress)
+	results, err := opts.engine().RunAll(ctx, specs, opts.Parallelism, opts.Progress)
+	if err != nil {
+		return nil, err
+	}
 	byKey := map[string]*RunResult{}
 	for i := range results {
 		r := &results[i]

@@ -1,0 +1,420 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hbat/internal/cpu"
+	"hbat/internal/prog"
+	"hbat/internal/ptrace"
+	"hbat/internal/stats"
+	"hbat/internal/workload"
+)
+
+// Engine is the sweep engine: it executes RunSpecs with two layers of
+// caching and a cancellable, load-ordered scheduler.
+//
+//   - A workload build cache (workload.BuildCache) keyed by (workload,
+//     register budget, scale): a 13-design grid builds each program
+//     once, not thirteen times. Cached programs are immutable and
+//     shared between machines.
+//   - A RunSpec memoization cache: simulations are deterministic, so a
+//     spec that has already run (same workload, design, machine
+//     variant, and seed) is served from memory. Regenerating table3 +
+//     fig5 + fig7 + fig8 + fig9 from one process therefore simulates
+//     each unique spec exactly once (table3's T4 column is a subset of
+//     fig5's grid, for example). Concurrent requests for the same spec
+//     deduplicate onto one in-flight run.
+//   - Cancellation: every entry point takes a context.Context;
+//     cancelling it stops dispatching queued specs and interrupts
+//     in-flight machines at a cycle-granular check (cpu.SetCancel).
+//   - Scheduling: RunAll dispatches grid specs longest-job-first using
+//     per-(workload, scale) wall-time estimates learned from completed
+//     runs, which cuts the tail latency of a mixed grid, and reports
+//     per-run wall time and a remaining-work ETA through Progress.
+//
+// The zero value is not usable; create one with NewEngine. An Engine is
+// safe for concurrent use and is meant to be long-lived: one engine per
+// process (or per experiment batch) maximizes reuse.
+type Engine struct {
+	// NoBuildCache disables program-build reuse; NoMemo disables
+	// RunSpec memoization. Both exist for A/B benchmarking the caches
+	// (cmd/hbat-bench-sweep) and must be set before first use.
+	NoBuildCache bool
+	NoMemo       bool
+
+	builds *workload.BuildCache
+
+	mu   sync.Mutex
+	memo map[specKey]*memoEntry
+	// ewma holds learned wall-time estimates in seconds, keyed by the
+	// spec features that dominate run length.
+	ewma map[costKey]float64
+
+	specHits   atomic.Uint64
+	specMisses atomic.Uint64
+	executed   atomic.Uint64
+}
+
+// NewEngine returns an empty sweep engine.
+func NewEngine() *Engine {
+	return &Engine{
+		builds: workload.NewBuildCache(),
+		memo:   make(map[specKey]*memoEntry),
+		ewma:   make(map[costKey]float64),
+	}
+}
+
+// memoEntry is one memoized (or in-flight) simulation. done closes when
+// res is valid; a producer that was cancelled removes its entry so a
+// later caller retries.
+type memoEntry struct {
+	done chan struct{}
+	res  RunResult
+}
+
+// specKey is the memoization key: every RunSpec field that affects the
+// simulation's outcome. Observation-only fields (Progress and its
+// period) are deliberately absent — a cached result is identical with
+// or without a heartbeat attached.
+type specKey struct {
+	workload     string
+	design       string
+	budget       prog.RegBudget
+	scale        workload.Scale
+	pageSize     uint64
+	inOrder      bool
+	seed         uint64
+	maxInsts     uint64
+	virtualCache bool
+	ctxSwitch    uint64
+	lockstep     bool
+}
+
+func (s RunSpec) key() specKey {
+	return specKey{
+		workload:     s.Workload,
+		design:       s.Design,
+		budget:       s.Budget,
+		scale:        s.Scale,
+		pageSize:     s.PageSize,
+		inOrder:      s.InOrder,
+		seed:         s.Seed,
+		maxInsts:     s.MaxInsts,
+		virtualCache: s.VirtualCache,
+		ctxSwitch:    s.ContextSwitchEvery,
+		lockstep:     s.Lockstep,
+	}
+}
+
+// cacheable reports whether a spec's result can be memoized: traced and
+// interval-sampled runs carry per-run payloads that are not meaningful
+// to share, so they always execute.
+func (s RunSpec) cacheable() bool {
+	return s.Trace == nil && s.IntervalEvery <= 0
+}
+
+// costKey groups specs whose wall times are comparable for scheduling
+// estimates.
+type costKey struct {
+	workload string
+	scale    workload.Scale
+	budget   prog.RegBudget
+	inOrder  bool
+	lockstep bool
+}
+
+func (s RunSpec) costKey() costKey {
+	return costKey{workload: s.Workload, scale: s.Scale, budget: s.Budget, inOrder: s.InOrder, lockstep: s.Lockstep}
+}
+
+// estimate returns the expected wall time of a spec in seconds: the
+// learned average when one exists, otherwise a scale-based default
+// (absolute accuracy does not matter — only the relative ordering and
+// the ETA use it).
+func (e *Engine) estimate(s RunSpec) float64 {
+	e.mu.Lock()
+	t, ok := e.ewma[s.costKey()]
+	e.mu.Unlock()
+	if ok {
+		return t
+	}
+	var base float64
+	switch s.Scale {
+	case workload.ScaleTest:
+		base = 1
+	case workload.ScaleSmall:
+		base = 8
+	default:
+		base = 40
+	}
+	if s.Lockstep {
+		base *= 2
+	}
+	return base
+}
+
+// observe folds a completed run's wall time into the estimates.
+func (e *Engine) observe(s RunSpec, wall time.Duration) {
+	sec := wall.Seconds()
+	k := s.costKey()
+	e.mu.Lock()
+	if old, ok := e.ewma[k]; ok {
+		e.ewma[k] = 0.5*old + 0.5*sec
+	} else {
+		e.ewma[k] = sec
+	}
+	e.mu.Unlock()
+}
+
+// CacheStats is a point-in-time read of the engine's cache counters.
+type CacheStats struct {
+	// BuildHits/BuildMisses count workload build requests served from
+	// the build cache vs. actually built.
+	BuildHits, BuildMisses uint64
+	// SpecHits/SpecMisses count simulation requests served from the
+	// RunSpec memo vs. actually simulated.
+	SpecHits, SpecMisses uint64
+}
+
+// CacheStats returns the engine's cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	bh, bm := e.builds.Stats()
+	return CacheStats{
+		BuildHits: bh, BuildMisses: bm,
+		SpecHits: e.specHits.Load(), SpecMisses: e.specMisses.Load(),
+	}
+}
+
+// MetricsSnapshot exports the engine's counters through the metrics
+// registry, in the same Snapshot form per-run metrics use.
+func (e *Engine) MetricsSnapshot() stats.Snapshot {
+	cs := e.CacheStats()
+	reg := stats.NewRegistry()
+	reg.Counter("sweep.build_cache_hits").Set(cs.BuildHits)
+	reg.Counter("sweep.build_cache_misses").Set(cs.BuildMisses)
+	reg.Counter("sweep.spec_cache_hits").Set(cs.SpecHits)
+	reg.Counter("sweep.spec_cache_misses").Set(cs.SpecMisses)
+	reg.Counter("sweep.runs_executed").Set(e.executed.Load())
+	return reg.Snapshot()
+}
+
+// buildProgram resolves a spec's program, through the build cache
+// unless disabled.
+func (e *Engine) buildProgram(spec RunSpec) (*prog.Program, error) {
+	if e.NoBuildCache {
+		w, err := workload.ByName(spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		return w.Build(spec.Budget, spec.Scale)
+	}
+	return e.builds.Build(spec.Workload, spec.Budget, spec.Scale)
+}
+
+// Run executes one simulation, serving it from the memo cache when an
+// identical spec already ran. A cancelled ctx returns promptly with
+// RunResult.Err set to ctx.Err().
+func (e *Engine) Run(ctx context.Context, spec RunSpec) RunResult {
+	if err := ctx.Err(); err != nil {
+		return RunResult{Spec: spec, Err: err}
+	}
+	if e.NoMemo || !spec.cacheable() {
+		return e.execute(ctx, spec)
+	}
+	key := spec.key()
+	for {
+		e.mu.Lock()
+		ent := e.memo[key]
+		if ent == nil {
+			ent = &memoEntry{done: make(chan struct{})}
+			e.memo[key] = ent
+			e.mu.Unlock()
+			res := e.execute(ctx, spec)
+			if isCancelErr(res.Err) {
+				// Never memoize a cancelled run: drop the entry so a
+				// later caller re-executes, and wake any waiters (they
+				// will retry and observe the cancellation themselves).
+				e.mu.Lock()
+				delete(e.memo, key)
+				e.mu.Unlock()
+				ent.res = res
+				close(ent.done)
+				return res
+			}
+			e.specMisses.Add(1)
+			ent.res = res
+			close(ent.done)
+			return res
+		}
+		e.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return RunResult{Spec: spec, Err: ctx.Err()}
+		case <-ent.done:
+		}
+		if isCancelErr(ent.res.Err) {
+			continue // the producer was cancelled, not us: retry
+		}
+		e.specHits.Add(1)
+		res := ent.res
+		res.Spec = spec
+		res.Cached = true
+		return res
+	}
+}
+
+func isCancelErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// execute performs the simulation (no memoization), recording wall time
+// and updating scheduling estimates.
+func (e *Engine) execute(ctx context.Context, spec RunSpec) RunResult {
+	start := time.Now()
+	res := RunResult{Spec: spec}
+	p, err := e.buildProgram(spec)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	cfg := cpu.DefaultConfig()
+	cfg.PageSize = spec.PageSize
+	cfg.InOrder = spec.InOrder
+	cfg.MaxInsts = spec.MaxInsts
+	cfg.VirtualCache = spec.VirtualCache
+	cfg.FlushTLBEvery = spec.ContextSwitchEvery
+	cfg.Lockstep = spec.Lockstep
+	if spec.Seed != 0 {
+		cfg.Seed = spec.Seed
+	}
+	m, err := cpu.NewWithDesign(p, cfg, spec.Design)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	m.SetCancel(ctx)
+	if spec.Trace != nil {
+		m.SetTracer(ptrace.New(*spec.Trace))
+	}
+	if spec.IntervalEvery > 0 {
+		m.EnableIntervalSampling(spec.IntervalEvery)
+	}
+	if spec.Progress != nil {
+		every := spec.ProgressEvery
+		if every <= 0 {
+			every = 1 << 20
+		}
+		m.SetProgress(every, spec.Progress)
+	}
+	err = m.Run()
+	res.Stats = *m.Stats()
+	res.TLB = *m.DTLB.Stats()
+	res.Metrics = m.Metrics().Snapshot()
+	res.Trace = m.Tracer()
+	res.Intervals = m.Intervals()
+	res.Wall = time.Since(start)
+	e.executed.Add(1)
+	switch {
+	case isCancelErr(err):
+		res.Err = err // the bare ctx error, per the sweep contract
+	case err != nil:
+		res.Err = fmt.Errorf("%s: %w", spec, err)
+	default:
+		e.observe(spec, res.Wall)
+	}
+	return res
+}
+
+// Progress is one scheduler update, delivered after each completed (or
+// cancelled) run.
+type Progress struct {
+	// Done runs have finished out of Total.
+	Done, Total int
+	// Result is the run that just finished; Result.Wall is its wall
+	// time and Result.Cached reports a memo hit.
+	Result *RunResult
+	// Elapsed is wall time since the sweep started; ETA estimates the
+	// remaining wall time from the per-spec cost model (zero until the
+	// first run completes).
+	Elapsed, ETA time.Duration
+}
+
+// RunAll executes specs with bounded parallelism (0 = GOMAXPROCS),
+// dispatching longest-estimated-job-first to minimize tail latency.
+// Results are returned in spec order regardless of dispatch order.
+// When ctx is cancelled, queued specs are not dispatched, in-flight
+// machines are interrupted, every unfinished result carries ctx.Err(),
+// and RunAll returns ctx.Err().
+func (e *Engine) RunAll(ctx context.Context, specs []RunSpec, parallelism int, progress func(Progress)) ([]RunResult, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(specs) {
+		parallelism = len(specs)
+	}
+	results := make([]RunResult, len(specs))
+
+	// Longest-job-first: sort a dispatch order by estimated cost,
+	// descending. Stable so equal-cost specs keep grid order.
+	cost := make([]float64, len(specs))
+	var totalCost float64
+	for i, s := range specs {
+		cost[i] = e.estimate(s)
+		totalCost += cost[i]
+	}
+	order := make([]int, len(specs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cost[order[a]] > cost[order[b]] })
+
+	start := time.Now()
+	var (
+		mu       sync.Mutex
+		done     int
+		doneCost float64
+		wg       sync.WaitGroup
+		next     atomic.Int64
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			n := int(next.Add(1)) - 1
+			if n >= len(order) {
+				return
+			}
+			i := order[n]
+			if err := ctx.Err(); err != nil {
+				// Cancelled: stop dispatching; mark without running.
+				results[i] = RunResult{Spec: specs[i], Err: err}
+			} else {
+				results[i] = e.Run(ctx, specs[i])
+			}
+			if progress != nil {
+				mu.Lock()
+				done++
+				doneCost += cost[i]
+				elapsed := time.Since(start)
+				var eta time.Duration
+				if doneCost > 0 && done < len(specs) {
+					eta = time.Duration(float64(elapsed) * (totalCost - doneCost) / doneCost)
+				}
+				progress(Progress{Done: done, Total: len(specs), Result: &results[i], Elapsed: elapsed, ETA: eta})
+				mu.Unlock()
+			}
+		}
+	}
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go worker()
+	}
+	wg.Wait()
+	return results, ctx.Err()
+}

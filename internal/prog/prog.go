@@ -34,7 +34,11 @@ type DataSeg struct {
 	Bytes []byte
 }
 
-// Program is a finalized, runnable program.
+// Program is a finalized, runnable program. A Program is immutable
+// once finalized: the simulator copies data segments into its own
+// memory at load time and only ever reads Code/InitRegs/Regions, so
+// one built Program may be shared by any number of concurrently
+// running machines (the workload build cache depends on this).
 type Program struct {
 	Name     string
 	Code     []isa.Inst

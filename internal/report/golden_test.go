@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -27,7 +28,7 @@ func TestGoldenHTMLReport(t *testing.T) {
 		Designs:   []string{"T4", "T1", "M8", "PB2", "I4"},
 	}
 	var sb strings.Builder
-	if err := Generate(&sb, opts, []string{"fig5"}, time.Unix(0, 0)); err != nil {
+	if err := Generate(context.Background(), &sb, opts, []string{"fig5"}, time.Unix(0, 0)); err != nil {
 		t.Fatal(err)
 	}
 	got := []byte(sb.String())

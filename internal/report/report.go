@@ -6,6 +6,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"html/template"
 	"io"
@@ -108,9 +109,14 @@ func (v *FigureView) ChartWidth() int {
 // Generate runs the selected experiments and writes the HTML report.
 // figures selects among fig5/fig7/fig8/fig9 (nil = all four); Table 3,
 // Figure 6, and the model study are always included.
-func Generate(w io.Writer, opts harness.Options, figures []string, now time.Time) error {
+func Generate(ctx context.Context, w io.Writer, opts harness.Options, figures []string, now time.Time) error {
 	if figures == nil {
 		figures = []string{"fig5", "fig7", "fig8", "fig9"}
+	}
+	if opts.Engine == nil {
+		// One engine for the whole report: fig5 reuses Table 3's T4
+		// runs and every figure shares workload builds.
+		opts.Engine = harness.NewEngine()
 	}
 	data := Data{
 		Title:     "High-Bandwidth Address Translation — reproduction report",
@@ -118,7 +124,7 @@ func Generate(w io.Writer, opts harness.Options, figures []string, now time.Time
 		Scale:     opts.Scale.String(),
 	}
 
-	rows, err := harness.Table3(opts)
+	rows, err := harness.Table3(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -128,13 +134,13 @@ func Generate(w io.Writer, opts harness.Options, figures []string, now time.Time
 		var f *harness.FigureResult
 		switch name {
 		case "fig5":
-			f, err = harness.Figure5(opts)
+			f, err = harness.Figure5(ctx, opts)
 		case "fig7":
-			f, err = harness.Figure7(opts)
+			f, err = harness.Figure7(ctx, opts)
 		case "fig8":
-			f, err = harness.Figure8(opts)
+			f, err = harness.Figure8(ctx, opts)
 		case "fig9":
-			f, err = harness.Figure9(opts)
+			f, err = harness.Figure9(ctx, opts)
 		default:
 			return fmt.Errorf("report: unknown figure %q", name)
 		}
@@ -144,7 +150,7 @@ func Generate(w io.Writer, opts harness.Options, figures []string, now time.Time
 		data.Figures = append(data.Figures, buildFigure(f))
 	}
 
-	f6, err := harness.Figure6(opts, nil)
+	f6, err := harness.Figure6(ctx, opts, nil)
 	if err != nil {
 		return err
 	}
@@ -161,7 +167,7 @@ func Generate(w io.Writer, opts harness.Options, figures []string, now time.Time
 	}
 	data.Figure6 = v6
 
-	model, err := harness.ModelStudy(opts)
+	model, err := harness.ModelStudy(ctx, opts)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -17,7 +18,7 @@ func TestGenerate(t *testing.T) {
 		Designs:   []string{"T4", "T1", "M8"},
 	}
 	var sb strings.Builder
-	if err := Generate(&sb, opts, []string{"fig5"}, time.Unix(0, 0)); err != nil {
+	if err := Generate(context.Background(), &sb, opts, []string{"fig5"}, time.Unix(0, 0)); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -45,7 +46,7 @@ func TestGenerate(t *testing.T) {
 
 func TestGenerateUnknownFigure(t *testing.T) {
 	var sb strings.Builder
-	err := Generate(&sb, harness.Options{Scale: workload.ScaleTest}, []string{"fig99"}, time.Unix(0, 0))
+	err := Generate(context.Background(), &sb, harness.Options{Scale: workload.ScaleTest}, []string{"fig99"}, time.Unix(0, 0))
 	if err == nil {
 		t.Fatal("unknown figure accepted")
 	}

@@ -14,6 +14,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -183,10 +184,19 @@ func (r *Reader) ForEach(f func(Record) error) error {
 // Capture functionally executes p and writes its data-reference trace.
 // maxRefs caps the trace length (0 = the whole run).
 func Capture(p *prog.Program, pageSize uint64, w io.Writer, maxRefs uint64) (uint64, error) {
+	return CaptureContext(context.Background(), p, pageSize, w, maxRefs)
+}
+
+// CaptureContext is Capture with cancellation: a cancelled ctx stops
+// the functional run promptly (checked every few thousand steps) and
+// returns ctx.Err().
+func CaptureContext(ctx context.Context, p *prog.Program, pageSize uint64, w io.Writer, maxRefs uint64) (uint64, error) {
 	m, err := emu.New(p, pageSize)
 	if err != nil {
 		return 0, err
 	}
+	done := ctx.Done()
+	steps := 0
 	tw := NewWriter(w, Header{Workload: p.Name, PageSize: pageSize})
 	var captureErr error
 	m.OnMemRef = func(vaddr uint64, write bool) {
@@ -202,6 +212,14 @@ func Capture(p *prog.Program, pageSize uint64, w io.Writer, maxRefs uint64) (uin
 		if maxRefs > 0 && tw.Count() >= maxRefs {
 			break
 		}
+		if done != nil && steps&4095 == 0 {
+			select {
+			case <-done:
+				return tw.Count(), ctx.Err()
+			default:
+			}
+		}
+		steps++
 		if err := m.Step(); err != nil {
 			return tw.Count(), err
 		}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hbat/internal/prog"
+)
+
+// BuildCache memoizes workload builds keyed by (workload, register
+// budget, scale), so a design-grid sweep that runs the same program on
+// thirteen translation designs builds it once instead of thirteen
+// times. It is safe for concurrent use and deduplicates in-flight
+// builds: concurrent requests for the same key block on one build.
+//
+// Cached programs are shared between callers and MUST be treated as
+// immutable (see prog.Program); the simulator copies data segments into
+// its own memory at load time and never writes the program.
+type BuildCache struct {
+	mu      sync.Mutex
+	entries map[buildKey]*buildEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type buildKey struct {
+	name   string
+	budget prog.RegBudget
+	scale  Scale
+}
+
+type buildEntry struct {
+	once sync.Once
+	p    *prog.Program
+	err  error
+}
+
+// NewBuildCache returns an empty cache.
+func NewBuildCache() *BuildCache {
+	return &BuildCache{entries: make(map[buildKey]*buildEntry)}
+}
+
+// Build returns the named workload's program for a budget and scale,
+// building it on first use and serving the shared, immutable program
+// afterwards. An unknown workload name fails without touching the
+// cache; a failed build is cached and re-reported to later callers
+// (builds are deterministic, so retrying cannot succeed).
+func (c *BuildCache) Build(name string, budget prog.RegBudget, scale Scale) (*prog.Program, error) {
+	w, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	key := buildKey{name: name, budget: budget, scale: scale}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &buildEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	first := false
+	e.once.Do(func() {
+		first = true
+		e.p, e.err = w.Build(budget, scale)
+	})
+	if first {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return e.p, e.err
+}
+
+// Stats returns how many Build calls were served from the cache (hits)
+// and how many performed the build (misses).
+func (c *BuildCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

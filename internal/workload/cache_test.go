@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"hbat/internal/prog"
+)
+
+func TestBuildCacheReusesPrograms(t *testing.T) {
+	c := NewBuildCache()
+	p1, err := c.Build("compress", prog.Budget32, ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Build("compress", prog.Budget32, ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("same key built twice")
+	}
+	if h, m := c.Stats(); h != 1 || m != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", h, m)
+	}
+	// Budget and scale are part of the key.
+	p3, err := c.Build("compress", prog.Budget8, ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("different budget shared a program")
+	}
+	if h, m := c.Stats(); h != 1 || m != 2 {
+		t.Errorf("stats = %d/%d after second key, want 1/2", h, m)
+	}
+}
+
+func TestBuildCacheUnknownNameBypassesCache(t *testing.T) {
+	c := NewBuildCache()
+	if _, err := c.Build("nope", prog.Budget32, ScaleTest); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Errorf("unknown name touched the counters: %d/%d", h, m)
+	}
+}
+
+// TestBuildCacheDeduplicatesConcurrentBuilds hammers one key from many
+// goroutines: exactly one build must run, and everyone must get the
+// same shared program (run with -race to check the synchronization).
+func TestBuildCacheDeduplicatesConcurrentBuilds(t *testing.T) {
+	c := NewBuildCache()
+	const n = 16
+	progs := make([]*prog.Program, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.Build("espresso", prog.Budget32, ScaleTest)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if progs[i] != progs[0] {
+			t.Fatalf("goroutine %d got a different program", i)
+		}
+	}
+	if h, m := c.Stats(); m != 1 || h != n-1 {
+		t.Errorf("stats = %d hits / %d misses, want %d/1", h, m, n-1)
+	}
+}
