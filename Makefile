@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test check bench bench-sweep experiments report cover clean
+.PHONY: all build test check bench bench-sweep experiments report serve-demo cover clean
 
 all: build test
 
@@ -11,8 +11,9 @@ test:
 	go test ./...
 
 # The CI gate: vet, the race-enabled test suite (which includes the
-# lockstep differential, cross-design equivalence, and golden-file
-# tests), and a gofmt check. Golden fixtures are regenerated with
+# lockstep differential, cross-design equivalence, golden-file, and
+# concurrent-/metrics-scrape tests), and a gofmt check. Golden fixtures
+# are regenerated with
 # `go test ./internal/harness/ ./internal/report/ -run TestGolden -update`.
 check:
 	go vet ./...
@@ -30,7 +31,8 @@ bench-sweep:
 	go run ./cmd/hbat-bench-sweep -scale test -o BENCH_sweep.json
 
 # Regenerate every table and figure at small scale (minutes: use
-# SCALE=full for the EXPERIMENTS.md headline numbers).
+# SCALE=full for the EXPERIMENTS.md headline numbers). Writes
+# manifest.json with the spec list and artifact hashes.
 SCALE ?= small
 experiments:
 	go run ./cmd/hbat-experiments -scale $(SCALE)
@@ -38,8 +40,16 @@ experiments:
 report:
 	go run ./cmd/hbat-report -o report.html -scale $(SCALE)
 
+# Live-telemetry demo: a test-scale full report with the observability
+# server on :8090 and JSON logs. While it runs (and after):
+#   curl -s localhost:8090/metrics | go run ./internal/obs/promcheck
+#   curl -s localhost:8090/health
+serve-demo:
+	go run ./cmd/hbat-report -o report.html -scale test \
+		-obs 127.0.0.1:8090 -log-format json -log-level debug
+
 cover:
 	go test -cover ./...
 
 clean:
-	rm -f report.html BENCH_sweep.json
+	rm -f report.html BENCH_sweep.json manifest.json results_full.txt

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"hbat"
+	"hbat/internal/obs"
 )
 
 // artifacts is the grid the benchmark times: the five artifacts whose
@@ -63,33 +64,43 @@ func pass(ctx context.Context, scale string, noCache bool) (time.Duration, error
 
 func main() {
 	var (
-		scale = flag.String("scale", "test", "workload scale: test, small, or full")
-		out   = flag.String("o", "BENCH_sweep.json", "output JSON path")
+		scale    = flag.String("scale", "test", "workload scale: test, small, or full")
+		out      = flag.String("o", "BENCH_sweep.json", "output JSON path")
+		manifest = flag.String("manifest", "", "write a run-provenance manifest (runs + result SHA-256) to this file")
 	)
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	logger, srv, err := obsFlags.Setup(ctx, os.Stderr, hbat.SweepEngine())
+	if err != nil {
+		fail(err)
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
+
 	res := result{Scale: *scale, Artifacts: artifacts}
 
 	// Caches off first: it never touches the process-wide engine, so
 	// the caches-on pass that follows still starts cold.
-	fmt.Fprintln(os.Stderr, "pass 1/3: caches off")
+	logger.Info("bench pass", "pass", "1/3", "caches", "off")
 	off, err := pass(ctx, *scale, true)
 	if err != nil {
 		fail(err)
 	}
 	res.CachesOffSeconds = off.Seconds()
 
-	fmt.Fprintln(os.Stderr, "pass 2/3: caches on (cold)")
+	logger.Info("bench pass", "pass", "2/3", "caches", "on-cold")
 	on, err := pass(ctx, *scale, false)
 	if err != nil {
 		fail(err)
 	}
 	res.CachesOnSeconds = on.Seconds()
 
-	fmt.Fprintln(os.Stderr, "pass 3/3: caches on (warm)")
+	logger.Info("bench pass", "pass", "3/3", "caches", "on-warm")
 	warm, err := pass(ctx, *scale, false)
 	if err != nil {
 		fail(err)
@@ -111,9 +122,21 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "caches off %.2fs, on %.2fs (%.2fx), warm %.2fs -> %s\n",
-		res.CachesOffSeconds, res.CachesOnSeconds, res.Speedup, res.WarmPassSeconds, *out)
+	logger.Info("bench result", "caches_off_s", res.CachesOffSeconds,
+		"caches_on_s", res.CachesOnSeconds, "speedup", res.Speedup,
+		"warm_s", res.WarmPassSeconds, "path", *out)
 	os.Stdout.Write(data)
+
+	if *manifest != "" {
+		m := hbat.NewManifest("hbat-bench-sweep")
+		m.RecordRuns(hbat.SweepEngine())
+		m.AddArtifactBytes("bench.json", *out, data)
+		if err := m.WriteFile(*manifest); err != nil {
+			fail(err)
+		}
+		logger.Info("manifest written", "path", *manifest,
+			"runs", len(m.Runs), "artifacts", len(m.Artifacts))
+	}
 }
 
 func fail(err error) {

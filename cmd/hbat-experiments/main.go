@@ -4,45 +4,64 @@
 // All artifacts of one invocation share the process-wide sweep engine:
 // each workload is built once and each unique simulation runs once,
 // however many figures reference it. Ctrl-C (SIGINT) cancels the sweep
-// promptly and exits non-zero.
+// promptly and exits non-zero. Unless -manifest is cleared, the run
+// writes a provenance manifest recording the tool build, every
+// simulated spec with its seed and wall time, and the SHA-256 of each
+// rendered artifact.
 //
 // Usage:
 //
 //	hbat-experiments                 # everything, small scale
 //	hbat-experiments -only fig5      # one artifact
 //	hbat-experiments -scale full     # headline scale (minutes)
+//	hbat-experiments -obs :8090      # live /metrics, /health, /debug/pprof
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
 
 	"hbat"
+	"hbat/internal/obs"
 )
 
 func main() {
 	var (
-		only   = flag.String("only", "", "run one artifact: table2, table3, fig5, fig6, fig7, fig8, fig9, model")
-		scale  = flag.String("scale", "small", "workload scale: test, small, or full")
-		par    = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		seed   = flag.Uint64("seed", 1, "seed for randomized structures")
-		quiet  = flag.Bool("q", false, "suppress progress output")
-		csvDir = flag.String("csv", "", "also write fig5/7/8/9 results as CSV files into this directory")
+		only     = flag.String("only", "", "run one artifact: table2, table3, fig5, fig6, fig7, fig8, fig9, model")
+		scale    = flag.String("scale", "small", "workload scale: test, small, or full")
+		par      = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 1, "seed for randomized structures")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+		csvDir   = flag.String("csv", "", "also write fig5/7/8/9 results as CSV files into this directory")
+		manifest = flag.String("manifest", "manifest.json", "write a run-provenance manifest (runs + artifact SHA-256s) to this file (\"\" = off)")
 	)
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	logger, srv, err := obsFlags.Setup(ctx, os.Stderr, hbat.SweepEngine())
+	if err != nil {
+		fail(err)
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
+
 	csvCapable := make(map[string]bool)
 	for _, name := range hbat.CSVExperimentNames() {
 		csvCapable[name] = true
 	}
+
+	man := hbat.NewManifest("hbat-experiments")
 
 	names := hbat.ExperimentNames
 	if *only != "" {
@@ -51,20 +70,22 @@ func main() {
 	for _, name := range names {
 		opts := hbat.ExperimentOptions{Scale: *scale, Parallelism: *par, Seed: *seed}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "== %s (scale %s) ==\n", name, *scale)
+			logger.Info("experiment start", "name", name, "scale", *scale)
 			opts.Progress = func(p hbat.RunProgress) {
 				if p.Done == p.Total || p.Done%10 == 0 {
-					fmt.Fprintf(os.Stderr, "\r  %d/%d runs (%.0fs elapsed, ~%.0fs left)",
-						p.Done, p.Total, p.Elapsed.Seconds(), p.ETA.Seconds())
-					if p.Done == p.Total {
-						fmt.Fprintln(os.Stderr)
-					}
+					logger.Info("sweep progress", "experiment", name,
+						"done", p.Done, "total", p.Total,
+						"elapsed_s", p.Elapsed.Seconds(), "eta_s", p.ETA.Seconds())
 				}
 			}
 		}
-		if err := hbat.RunExperimentContext(ctx, name, opts, os.Stdout); err != nil {
+		// Tee the rendered report through a buffer so its SHA-256 can be
+		// recorded even though it streams to stdout.
+		var buf bytes.Buffer
+		if err := hbat.RunExperimentContext(ctx, name, opts, io.MultiWriter(os.Stdout, &buf)); err != nil {
 			fail(err)
 		}
+		man.AddArtifactBytes(name+".txt", "-", buf.Bytes())
 		fmt.Println()
 		if *csvDir != "" && csvCapable[name] {
 			path := filepath.Join(*csvDir, name+".csv")
@@ -80,13 +101,25 @@ func main() {
 				fail(err)
 			}
 			f.Close()
-			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			if err := man.AddArtifactFile(name+".csv", path); err != nil {
+				fail(err)
+			}
+			logger.Info("csv written", "path", path)
 		}
+	}
+	if *manifest != "" {
+		man.RecordRuns(hbat.SweepEngine())
+		if err := man.WriteFile(*manifest); err != nil {
+			fail(err)
+		}
+		logger.Info("manifest written", "path", *manifest,
+			"runs", len(man.Runs), "artifacts", len(man.Artifacts))
 	}
 	if !*quiet {
 		s := hbat.SweepStats()
-		fmt.Fprintf(os.Stderr, "sweep caches: %d/%d builds reused, %d/%d runs reused\n",
-			s.BuildHits, s.BuildHits+s.BuildMisses, s.SpecHits, s.SpecHits+s.SpecMisses)
+		logger.Info("sweep cache summary",
+			"build_hits", s.BuildHits, "build_misses", s.BuildMisses,
+			"spec_hits", s.SpecHits, "spec_misses", s.SpecMisses)
 	}
 }
 

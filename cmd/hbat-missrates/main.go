@@ -4,32 +4,63 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 
 	"hbat"
+	"hbat/internal/obs"
 )
 
 func main() {
 	var (
-		scale = flag.String("scale", "small", "workload scale: test, small, or full")
-		seed  = flag.Uint64("seed", 1, "seed for randomized structures")
+		scale    = flag.String("scale", "small", "workload scale: test, small, or full")
+		seed     = flag.Uint64("seed", 1, "seed for randomized structures")
+		manifest = flag.String("manifest", "", "write a run-provenance manifest to this file")
 	)
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := hbat.ExperimentOptions{Scale: *scale, Seed: *seed}
-	if err := hbat.RunExperimentContext(ctx, "fig6", opts, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "hbat-missrates:", err)
-		if errors.Is(err, context.Canceled) {
-			os.Exit(130)
-		}
-		os.Exit(1)
+	logger, srv, err := obsFlags.Setup(ctx, os.Stderr, hbat.SweepEngine())
+	if err != nil {
+		fail(err)
 	}
+	if srv != nil {
+		defer srv.Close()
+	}
+
+	var buf bytes.Buffer
+	out := io.Writer(os.Stdout)
+	if *manifest != "" {
+		out = io.MultiWriter(os.Stdout, &buf)
+	}
+	opts := hbat.ExperimentOptions{Scale: *scale, Seed: *seed}
+	if err := hbat.RunExperimentContext(ctx, "fig6", opts, out); err != nil {
+		fail(err)
+	}
+	if *manifest != "" {
+		m := hbat.NewManifest("hbat-missrates")
+		m.RecordRuns(hbat.SweepEngine())
+		m.AddArtifactBytes("fig6.txt", "-", buf.Bytes())
+		if err := m.WriteFile(*manifest); err != nil {
+			fail(err)
+		}
+		logger.Info("manifest written", "path", *manifest, "runs", len(m.Runs))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hbat-missrates:", err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
+	os.Exit(1)
 }

@@ -1,9 +1,12 @@
 // Command hbat-report regenerates the paper's evaluation and writes a
-// self-contained HTML report (inline SVG charts, no external assets).
+// self-contained HTML report (inline SVG charts, no external assets),
+// plus a run-provenance manifest recording the spec list and the
+// report's SHA-256.
 //
 // Usage:
 //
 //	hbat-report -o report.html [-scale small] [-par N] [-seed 1]
+//	            [-manifest manifest.json] [-obs :8090]
 package main
 
 import (
@@ -16,21 +19,33 @@ import (
 	"time"
 
 	"hbat/internal/harness"
+	"hbat/internal/obs"
 	"hbat/internal/report"
 	"hbat/internal/workload"
 )
 
 func main() {
 	var (
-		out   = flag.String("o", "report.html", "output HTML file")
-		scale = flag.String("scale", "small", "workload scale: test, small, or full")
-		par   = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		seed  = flag.Uint64("seed", 1, "seed for randomized structures")
+		out      = flag.String("o", "report.html", "output HTML file")
+		scale    = flag.String("scale", "small", "workload scale: test, small, or full")
+		par      = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 1, "seed for randomized structures")
+		manifest = flag.String("manifest", "manifest.json", "write a run-provenance manifest (runs + report SHA-256) to this file (\"\" = off)")
 	)
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	eng := harness.NewEngine()
+	logger, srv, err := obsFlags.Setup(ctx, os.Stderr, eng)
+	if err != nil {
+		fail(err)
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
 
 	var sc workload.Scale
 	switch *scale {
@@ -41,33 +56,53 @@ func main() {
 	case "full":
 		sc = workload.ScaleFull
 	default:
-		fmt.Fprintf(os.Stderr, "hbat-report: unknown scale %q\n", *scale)
-		os.Exit(1)
+		fail(fmt.Errorf("unknown scale %q", *scale))
 	}
 
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hbat-report:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	defer f.Close()
 
 	start := time.Now()
 	opts := harness.Options{
-		Scale: sc, Parallelism: *par, Seed: *seed,
+		Engine: eng, Scale: sc, Parallelism: *par, Seed: *seed,
 		Progress: func(p harness.Progress) {
 			if p.Done%20 == 0 || p.Done == p.Total {
-				fmt.Fprintf(os.Stderr, "\r%d/%d runs (%.0fs elapsed, ~%.0fs left)",
-					p.Done, p.Total, time.Since(start).Seconds(), p.ETA.Seconds())
+				logger.Info("sweep progress", "done", p.Done, "total", p.Total,
+					"elapsed_s", time.Since(start).Seconds(), "eta_s", p.ETA.Seconds())
 			}
 		},
 	}
 	if err := report.Generate(ctx, f, opts, nil, time.Now()); err != nil {
-		fmt.Fprintln(os.Stderr, "\nhbat-report:", err)
-		if errors.Is(err, context.Canceled) {
-			os.Exit(130)
-		}
-		os.Exit(1)
+		f.Close()
+		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "\nwrote %s\n", *out)
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	logger.Info("report written", "path", *out)
+
+	if *manifest != "" {
+		m := harness.NewManifest("hbat-report", time.Now())
+		m.RecordRuns(eng)
+		if err := m.AddArtifactFile("report.html", *out); err != nil {
+			fail(err)
+		}
+		if err := m.WriteFile(*manifest); err != nil {
+			fail(err)
+		}
+		logger.Info("manifest written", "path", *manifest,
+			"runs", len(m.Runs), "artifacts", len(m.Artifacts))
+	}
+}
+
+// fail prints the error and exits non-zero (130 for an interrupt, the
+// conventional 128+SIGINT).
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hbat-report:", err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
+	os.Exit(1)
 }

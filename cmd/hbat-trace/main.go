@@ -13,11 +13,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 
+	"hbat/internal/obs"
 	"hbat/internal/prog"
 	"hbat/internal/tlb"
 	"hbat/internal/trace"
@@ -27,6 +29,19 @@ import (
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "hbat-trace: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// setupObs wires the shared observability flags after a subcommand's
+// FlagSet parsed: structured logs always, and — with -obs — the
+// metrics/health/pprof server (no sweep engine here, so /metrics
+// carries process self-metrics and /debug/pprof serves the profiler).
+func setupObs(ctx context.Context, f *obs.Flags) *slog.Logger {
+	logger, srv, err := f.Setup(ctx, os.Stderr, nil)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	_ = srv // closed on process exit
+	return logger
 }
 
 func parseScale(s string) workload.Scale {
@@ -70,7 +85,9 @@ func capture(ctx context.Context, args []string) {
 	pageSize := fs.Uint64("pagesize", 4096, "page size recorded in the header")
 	maxRefs := fs.Uint64("max", 0, "cap on captured references (0 = all)")
 	fewRegs := fs.Bool("fewregs", false, "build for 8 int / 8 fp registers")
+	obsFlags := obs.AddFlags(fs)
 	fs.Parse(args)
+	logger := setupObs(ctx, obsFlags)
 	if *out == "" {
 		fatalf("capture: -o is required")
 	}
@@ -95,6 +112,7 @@ func capture(ctx context.Context, args []string) {
 	if err != nil {
 		fatalf("capture: %v", err)
 	}
+	logger.Debug("capture finished", "workload", *wl, "refs", n, "path", *out)
 	st, _ := f.Stat()
 	fmt.Printf("captured %d references of %s to %s", n, *wl, *out)
 	if st != nil && n > 0 {
@@ -118,7 +136,9 @@ func openTrace(path string) *trace.Reader {
 func info(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("i", "", "trace file (required)")
+	obsFlags := obs.AddFlags(fs)
 	fs.Parse(args)
+	setupObs(ctx, obsFlags)
 	if *in == "" {
 		fatalf("info: -i is required")
 	}
@@ -155,7 +175,9 @@ func replay(ctx context.Context, args []string) {
 	in := fs.String("i", "", "trace file (required)")
 	sizesArg := fs.String("sizes", "4,8,16,32,64,128", "comma-separated TLB sizes")
 	seed := fs.Uint64("seed", 1, "seed for random replacement")
+	obsFlags := obs.AddFlags(fs)
 	fs.Parse(args)
+	logger := setupObs(ctx, obsFlags)
 	if *in == "" {
 		fatalf("replay: -i is required")
 	}
@@ -193,6 +215,7 @@ func replay(ctx context.Context, args []string) {
 	}); err != nil {
 		fatalf("%v", err)
 	}
+	logger.Debug("replay finished", "refs", seen, "sizes", *sizesArg)
 	fmt.Printf("trace %s (%s, %d-byte pages)\n", *in, hdr.Workload, hdr.PageSize)
 	fmt.Printf("%8s %12s %10s\n", "entries", "refs", "miss rate")
 	for i, n := range sizes {

@@ -10,6 +10,8 @@
 //	     [-trace-start N] [-trace-end N] [-trace-buffer N] [-trace-summary]
 //	     [-interval-csv out.csv] [-interval N] [-progress]
 //	     [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
+//	     [-obs :8090] [-log-level info] [-log-format text|json]
+//	     [-manifest manifest.json]
 //	hbat -list
 //	hbat -dump-config
 package main
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"hbat"
+	"hbat/internal/obs"
 )
 
 // writeMetrics exports a run's metrics snapshot as JSON or CSV ("-"
@@ -76,8 +79,18 @@ func run(ctx context.Context) error {
 		dumpCfg      = flag.Bool("dump-config", false, "print the Table 1 baseline configuration, then exit")
 		analyze      = flag.Bool("analyze", false, "fit the paper's Section 2 performance model (runs the design and a T4 baseline)")
 		disasm       = flag.Bool("disasm", false, "print the workload's generated code instead of simulating")
+		manifest     = flag.String("manifest", "", "write a run-provenance manifest (runs + artifact SHA-256s) to this file")
 	)
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, srv, err := obsFlags.Setup(ctx, os.Stderr, hbat.SweepEngine())
+	if err != nil {
+		return err
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
 
 	if *dumpCfg {
 		fmt.Println(hbat.BaselineConfig())
@@ -149,13 +162,12 @@ func run(ctx context.Context) error {
 	if *progress {
 		start := time.Now()
 		opts.Progress = func(cycle int64, committed uint64) {
-			elapsed := time.Since(start).Seconds()
 			ipc := 0.0
 			if cycle > 0 {
 				ipc = float64(committed) / float64(cycle)
 			}
-			fmt.Fprintf(os.Stderr, "hbat: cycle %d, %d insts, IPC %.3f, %.1fs elapsed\n",
-				cycle, committed, ipc, elapsed)
+			logger.Info("simulation progress", "cycle", cycle, "insts", committed,
+				"ipc", ipc, "elapsed_s", time.Since(start).Seconds())
 		}
 		opts.ProgressEvery = 100000
 	}
@@ -215,6 +227,28 @@ func run(ctx context.Context) error {
 		if *intervalCSV != "-" {
 			fmt.Printf("interval-csv   %s\n", *intervalCSV)
 		}
+	}
+	if *manifest != "" {
+		m := hbat.NewManifest("hbat")
+		m.RecordRuns(hbat.SweepEngine())
+		artifacts := []struct{ name, path string }{
+			{"metrics.json", *metrics},
+			{"metrics.csv", *metricsCSV},
+			{"trace", *traceFile},
+			{"intervals.csv", *intervalCSV},
+		}
+		for _, a := range artifacts {
+			if a.path == "" || a.path == "-" {
+				continue
+			}
+			if err := m.AddArtifactFile(a.name, a.path); err != nil {
+				return err
+			}
+		}
+		if err := m.WriteFile(*manifest); err != nil {
+			return err
+		}
+		logger.Info("manifest written", "path", *manifest, "runs", len(m.Runs), "artifacts", len(m.Artifacts))
 	}
 	return nil
 }

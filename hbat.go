@@ -43,6 +43,19 @@ type SweepCacheStats = harness.CacheStats
 // SweepStats returns the shared sweep engine's cache counters.
 func SweepStats() SweepCacheStats { return defaultEngine.CacheStats() }
 
+// SweepEngine returns the package's shared sweep engine, so callers
+// can attach observability (structured logging, heartbeat, live
+// /metrics scrapes) to the same engine the facade drives.
+func SweepEngine() *harness.Engine { return defaultEngine }
+
+// Manifest is the run-provenance record written alongside sweep
+// artifacts; see harness.Manifest.
+type Manifest = harness.Manifest
+
+// NewManifest returns a manifest stamped with the current build's
+// identity (go version, VCS revision when available) and time.
+func NewManifest(tool string) *Manifest { return harness.NewManifest(tool, time.Now()) }
+
 // Options selects what Simulate runs.
 type Options struct {
 	// Workload is one of Workloads() (default "compress").

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"hbat/internal/prog"
+	"hbat/internal/workload"
+)
+
+// TestManifestProvenance runs a tiny sweep plus a cached repeat and
+// checks the manifest records the build identity, every run with its
+// seed and cached flag, and exact SHA-256s for file and in-memory
+// artifacts.
+func TestManifestProvenance(t *testing.T) {
+	eng := NewEngine()
+	spec := RunSpec{
+		Workload: "espresso", Design: "T4", Budget: prog.Budget32,
+		Scale: workload.ScaleTest, PageSize: 4096, Seed: 7,
+	}
+	ctx := context.Background()
+	if r := eng.Run(ctx, spec); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r := eng.Run(ctx, spec); r.Err != nil || !r.Cached {
+		t.Fatalf("repeat not served from cache: err=%v cached=%v", r.Err, r.Cached)
+	}
+
+	m := NewManifest("hbat-test", time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC))
+	m.RecordRuns(eng)
+
+	data := []byte("rendered artifact bytes")
+	m.AddArtifactBytes("report.txt", "-", data)
+	path := filepath.Join(t.TempDir(), "fig5.csv")
+	if err := os.WriteFile(path, []byte("w,d,ipc\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddArtifactFile("fig5.csv", path); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+
+	if got.Tool != "hbat-test" || got.GoVersion != runtime.Version() ||
+		got.OS != runtime.GOOS || got.Arch != runtime.GOARCH {
+		t.Errorf("build identity wrong: %+v", got)
+	}
+	if got.CreatedAt != "2026-08-05T12:00:00Z" {
+		t.Errorf("CreatedAt = %q", got.CreatedAt)
+	}
+
+	if len(got.Runs) != 2 {
+		t.Fatalf("%d runs recorded, want 2 (executed + cached)", len(got.Runs))
+	}
+	for i, r := range got.Runs {
+		if r.Workload != "espresso" || r.Design != "T4" || r.Seed != 7 {
+			t.Errorf("run %d: %+v", i, r)
+		}
+		if r.SpecHash == "" || r.RunID == 0 {
+			t.Errorf("run %d missing provenance ids: %+v", i, r)
+		}
+	}
+	if got.Runs[0].Cached || !got.Runs[1].Cached {
+		t.Errorf("cached flags wrong: %v %v", got.Runs[0].Cached, got.Runs[1].Cached)
+	}
+	if got.Runs[0].WallMs <= 0 {
+		t.Errorf("executed run has no wall time: %+v", got.Runs[0])
+	}
+	if got.Runs[1].WallMs != 0 {
+		t.Errorf("cached run has nonzero wall time: %+v", got.Runs[1])
+	}
+
+	if len(got.Artifacts) != 2 {
+		t.Fatalf("%d artifacts, want 2", len(got.Artifacts))
+	}
+	sum := sha256.Sum256(data)
+	if a := got.Artifacts[0]; a.SHA256 != hex.EncodeToString(sum[:]) || a.Path != "-" || a.Bytes != int64(len(data)) {
+		t.Errorf("bytes artifact: %+v", a)
+	}
+	csvSum := sha256.Sum256([]byte("w,d,ipc\n"))
+	if a := got.Artifacts[1]; a.SHA256 != hex.EncodeToString(csvSum[:]) || a.Bytes != 8 {
+		t.Errorf("file artifact: %+v", a)
+	}
+}
+
+func TestSpecHashStableAndSeedSensitive(t *testing.T) {
+	spec := RunSpec{Workload: "perl", Design: "T2P2", Scale: workload.ScaleTest, PageSize: 4096, Seed: 1}
+	if spec.Hash() != spec.Hash() {
+		t.Error("Hash not deterministic")
+	}
+	other := spec
+	other.Seed = 2
+	if spec.Hash() == other.Hash() {
+		t.Error("Hash ignores the seed")
+	}
+	if len(spec.Hash()) != 12 {
+		t.Errorf("Hash length %d, want 12 hex chars", len(spec.Hash()))
+	}
+}

@@ -2,8 +2,11 @@ package harness
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -49,6 +52,19 @@ type Engine struct {
 	NoBuildCache bool
 	NoMemo       bool
 
+	// Logger, when non-nil, receives structured run-scoped events: one
+	// debug record when a simulation starts and one info record when it
+	// finishes (or is served from cache), carrying run_id, workload,
+	// design, spec_hash, seed, wall_ms, and the cache disposition. Set
+	// before first use.
+	Logger *slog.Logger
+
+	// Heartbeat, when non-nil, is invoked on every dispatch, on every
+	// in-flight machine's progress tick (~1M cycles), and on every run
+	// completion — the liveness signal the obs watchdog consumes. Set
+	// before first use.
+	Heartbeat func()
+
 	builds *workload.BuildCache
 
 	mu   sync.Mutex
@@ -56,18 +72,61 @@ type Engine struct {
 	// ewma holds learned wall-time estimates in seconds, keyed by the
 	// spec features that dominate run length.
 	ewma map[costKey]float64
+	// agg accumulates every executed run's metrics registry; wallReg
+	// holds one wall-time histogram per workload (metric name = the
+	// workload). Both are only touched under mu, which is what makes a
+	// concurrent /metrics scrape race-free while machines run: live
+	// machine registries are never read, only finished snapshots merged.
+	agg     *stats.Registry
+	wallReg *stats.Registry
+	// runLog records every request (executed or cache-served) for the
+	// provenance manifest.
+	runLog []RunRecord
+	// sweep is the most recent RunAll's progress, for live ETA export.
+	sweep struct {
+		done, total int
+		elapsed     time.Duration
+		eta         time.Duration
+	}
 
 	specHits   atomic.Uint64
 	specMisses atomic.Uint64
 	executed   atomic.Uint64
+	runSeq     atomic.Uint64
+
+	queued   atomic.Int64
+	active   atomic.Int64
+	done     atomic.Int64
+	draining atomic.Bool
 }
 
 // NewEngine returns an empty sweep engine.
 func NewEngine() *Engine {
 	return &Engine{
-		builds: workload.NewBuildCache(),
-		memo:   make(map[specKey]*memoEntry),
-		ewma:   make(map[costKey]float64),
+		builds:  workload.NewBuildCache(),
+		memo:    make(map[specKey]*memoEntry),
+		ewma:    make(map[costKey]float64),
+		agg:     stats.NewRegistry(),
+		wallReg: stats.NewRegistry(),
+	}
+}
+
+// wallBuckets are the per-workload wall-time histogram bounds in
+// milliseconds: 1 ms .. ~33 s, exponential.
+var wallBuckets = stats.ExpBuckets(1, 2, 16)
+
+// SetAccepting marks the engine as accepting (true) or draining
+// (false); /ready reflects it. Binaries flip it off once their context
+// is cancelled so load balancers stop routing work during shutdown.
+func (e *Engine) SetAccepting(ok bool) { e.draining.Store(!ok) }
+
+// Accepting reports whether the engine is accepting new work.
+func (e *Engine) Accepting() bool { return !e.draining.Load() }
+
+// heartbeat signals liveness to the watchdog, if one is attached.
+func (e *Engine) heartbeat() {
+	if e.Heartbeat != nil {
+		e.Heartbeat()
 	}
 }
 
@@ -118,6 +177,14 @@ func (s RunSpec) key() specKey {
 // to share, so they always execute.
 func (s RunSpec) cacheable() bool {
 	return s.Trace == nil && s.IntervalEvery <= 0
+}
+
+// Hash returns a short stable fingerprint of the spec's
+// outcome-affecting fields (exactly the memoization key), used to
+// correlate log records and manifest entries with results.
+func (s RunSpec) Hash() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", s.key())))
+	return hex.EncodeToString(sum[:6])
 }
 
 // costKey groups specs whose wall times are comparable for scheduling
@@ -205,6 +272,128 @@ func (e *Engine) MetricsSnapshot() stats.Snapshot {
 	return reg.Snapshot()
 }
 
+// EngineState is a point-in-time read of the engine's live scheduler
+// state, exported by the obs server as gauges.
+type EngineState struct {
+	// Queued/Active/Done count runs: dispatched-but-waiting, currently
+	// simulating, and completed (including cache hits and cancellations).
+	Queued, Active, Done int64
+	// Executed counts actual simulations (memo misses).
+	Executed uint64
+	// Accepting is false once SetAccepting(false) marked the engine
+	// draining.
+	Accepting bool
+	// Cache is the build/memo counters.
+	Cache CacheStats
+	// SweepDone/SweepTotal and ElapsedSeconds/ETASeconds mirror the most
+	// recent RunAll's progress (EWMA-cost-weighted ETA; zero when no
+	// sweep has reported yet).
+	SweepDone, SweepTotal int
+	ElapsedSeconds        float64
+	ETASeconds            float64
+}
+
+// State returns the engine's live scheduler state.
+func (e *Engine) State() EngineState {
+	st := EngineState{
+		Queued:    e.queued.Load(),
+		Active:    e.active.Load(),
+		Done:      e.done.Load(),
+		Executed:  e.executed.Load(),
+		Accepting: e.Accepting(),
+		Cache:     e.CacheStats(),
+	}
+	e.mu.Lock()
+	st.SweepDone, st.SweepTotal = e.sweep.done, e.sweep.total
+	st.ElapsedSeconds = e.sweep.elapsed.Seconds()
+	st.ETASeconds = e.sweep.eta.Seconds()
+	e.mu.Unlock()
+	return st
+}
+
+// LiveMetrics snapshots the aggregate of every completed run's metrics
+// registry. Safe to call while a sweep is in flight: live machine
+// registries are never read, only snapshots already merged under the
+// engine lock.
+func (e *Engine) LiveMetrics() stats.Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.agg.Snapshot()
+}
+
+// WallTimes snapshots the per-workload wall-time histograms of executed
+// runs. Each metric's Name is the workload; samples are milliseconds.
+func (e *Engine) WallTimes() stats.Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.wallReg.Snapshot()
+}
+
+// RunRecord is one entry of the engine's provenance log: a run request
+// and how it was satisfied. The spec hash is the memoization-key
+// fingerprint (RunSpec.Hash), so identical entries across sweeps and
+// processes are identifiable.
+type RunRecord struct {
+	RunID    uint64  `json:"run_id"`
+	Spec     string  `json:"spec"`
+	SpecHash string  `json:"spec_hash"`
+	Workload string  `json:"workload"`
+	Design   string  `json:"design"`
+	Seed     uint64  `json:"seed"`
+	WallMs   float64 `json:"wall_ms"`
+	Cached   bool    `json:"cached"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// RunLog returns a copy of the engine's provenance log: every request
+// in completion order, executed and cache-served alike.
+func (e *Engine) RunLog() []RunRecord {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]RunRecord(nil), e.runLog...)
+}
+
+// record appends a provenance entry and folds an executed run's
+// metrics into the live aggregate. Completion doubles as a watchdog
+// heartbeat.
+func (e *Engine) record(id uint64, spec RunSpec, res *RunResult, cached bool) {
+	e.heartbeat()
+	rec := RunRecord{
+		RunID:    id,
+		Spec:     spec.String(),
+		SpecHash: spec.Hash(),
+		Workload: spec.Workload,
+		Design:   spec.Design,
+		Seed:     spec.Seed,
+		WallMs:   float64(res.Wall.Microseconds()) / 1e3,
+		Cached:   cached,
+	}
+	if res.Err != nil {
+		rec.Error = res.Err.Error()
+	}
+	e.mu.Lock()
+	e.runLog = append(e.runLog, rec)
+	if !cached && res.Err == nil {
+		e.agg.Merge(res.Metrics)
+		e.wallReg.Histogram(spec.Workload, wallBuckets).Observe(res.Wall.Milliseconds())
+	}
+	e.mu.Unlock()
+}
+
+// runLogger returns the run-scoped logger (nil when logging is off).
+func (e *Engine) runLogger(id uint64, spec RunSpec) *slog.Logger {
+	if e.Logger == nil {
+		return nil
+	}
+	return e.Logger.With(
+		"run_id", id,
+		"workload", spec.Workload,
+		"design", spec.Design,
+		"spec_hash", spec.Hash(),
+		"seed", spec.Seed,
+	)
+}
+
 // buildProgram resolves a spec's program, through the build cache
 // unless disabled.
 func (e *Engine) buildProgram(spec RunSpec) (*prog.Program, error) {
@@ -222,9 +411,11 @@ func (e *Engine) buildProgram(spec RunSpec) (*prog.Program, error) {
 // identical spec already ran. A cancelled ctx returns promptly with
 // RunResult.Err set to ctx.Err().
 func (e *Engine) Run(ctx context.Context, spec RunSpec) RunResult {
+	defer e.done.Add(1)
 	if err := ctx.Err(); err != nil {
 		return RunResult{Spec: spec, Err: err}
 	}
+	e.heartbeat()
 	if e.NoMemo || !spec.cacheable() {
 		return e.execute(ctx, spec)
 	}
@@ -266,6 +457,12 @@ func (e *Engine) Run(ctx context.Context, spec RunSpec) RunResult {
 		res := ent.res
 		res.Spec = spec
 		res.Cached = true
+		res.Wall = 0
+		id := e.runSeq.Add(1)
+		e.record(id, spec, &res, true)
+		if lg := e.runLogger(id, spec); lg != nil {
+			lg.Info("run finished", "wall_ms", 0.0, "cache", "hit")
+		}
 		return res
 	}
 }
@@ -278,7 +475,25 @@ func isCancelErr(err error) bool {
 // and updating scheduling estimates.
 func (e *Engine) execute(ctx context.Context, spec RunSpec) RunResult {
 	start := time.Now()
+	id := e.runSeq.Add(1)
+	lg := e.runLogger(id, spec)
+	if lg != nil {
+		lg.Debug("run start")
+	}
+	e.active.Add(1)
+	defer e.active.Add(-1)
 	res := RunResult{Spec: spec}
+	defer func() {
+		e.record(id, spec, &res, false)
+		if lg != nil {
+			switch {
+			case res.Err != nil:
+				lg.Warn("run failed", "wall_ms", float64(res.Wall.Microseconds())/1e3, "error", res.Err.Error())
+			default:
+				lg.Info("run finished", "wall_ms", float64(res.Wall.Microseconds())/1e3, "cache", "miss")
+			}
+		}
+	}()
 	p, err := e.buildProgram(spec)
 	if err != nil {
 		res.Err = err
@@ -306,12 +521,20 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec) RunResult {
 	if spec.IntervalEvery > 0 {
 		m.EnableIntervalSampling(spec.IntervalEvery)
 	}
-	if spec.Progress != nil {
+	if spec.Progress != nil || e.Heartbeat != nil {
 		every := spec.ProgressEvery
 		if every <= 0 {
 			every = 1 << 20
 		}
-		m.SetProgress(every, spec.Progress)
+		user, beat := spec.Progress, e.Heartbeat
+		m.SetProgress(every, func(cycle int64, committed uint64) {
+			if beat != nil {
+				beat()
+			}
+			if user != nil {
+				user(cycle, committed)
+			}
+		})
 	}
 	err = m.Run()
 	res.Stats = *m.Stats()
@@ -376,6 +599,14 @@ func (e *Engine) RunAll(ctx context.Context, specs []RunSpec, parallelism int, p
 	sort.SliceStable(order, func(a, b int) bool { return cost[order[a]] > cost[order[b]] })
 
 	start := time.Now()
+	e.queued.Add(int64(len(specs)))
+	e.mu.Lock()
+	e.sweep.done, e.sweep.total = 0, len(specs)
+	e.sweep.elapsed, e.sweep.eta = 0, 0
+	e.mu.Unlock()
+	if e.Logger != nil {
+		e.Logger.Info("sweep start", "runs", len(specs), "parallelism", parallelism)
+	}
 	var (
 		mu       sync.Mutex
 		done     int
@@ -391,24 +622,30 @@ func (e *Engine) RunAll(ctx context.Context, specs []RunSpec, parallelism int, p
 				return
 			}
 			i := order[n]
+			e.queued.Add(-1)
 			if err := ctx.Err(); err != nil {
 				// Cancelled: stop dispatching; mark without running.
 				results[i] = RunResult{Spec: specs[i], Err: err}
+				e.done.Add(1)
 			} else {
 				results[i] = e.Run(ctx, specs[i])
 			}
-			if progress != nil {
-				mu.Lock()
-				done++
-				doneCost += cost[i]
-				elapsed := time.Since(start)
-				var eta time.Duration
-				if doneCost > 0 && done < len(specs) {
-					eta = time.Duration(float64(elapsed) * (totalCost - doneCost) / doneCost)
-				}
-				progress(Progress{Done: done, Total: len(specs), Result: &results[i], Elapsed: elapsed, ETA: eta})
-				mu.Unlock()
+			mu.Lock()
+			done++
+			doneCost += cost[i]
+			elapsed := time.Since(start)
+			var eta time.Duration
+			if doneCost > 0 && done < len(specs) {
+				eta = time.Duration(float64(elapsed) * (totalCost - doneCost) / doneCost)
 			}
+			e.mu.Lock()
+			e.sweep.done, e.sweep.total = done, len(specs)
+			e.sweep.elapsed, e.sweep.eta = elapsed, eta
+			e.mu.Unlock()
+			if progress != nil {
+				progress(Progress{Done: done, Total: len(specs), Result: &results[i], Elapsed: elapsed, ETA: eta})
+			}
+			mu.Unlock()
 		}
 	}
 	wg.Add(parallelism)
@@ -416,5 +653,10 @@ func (e *Engine) RunAll(ctx context.Context, specs []RunSpec, parallelism int, p
 		go worker()
 	}
 	wg.Wait()
+	if e.Logger != nil {
+		e.Logger.Info("sweep done", "runs", len(specs),
+			"elapsed_ms", float64(time.Since(start).Microseconds())/1e3,
+			"cancelled", ctx.Err() != nil)
+	}
 	return results, ctx.Err()
 }

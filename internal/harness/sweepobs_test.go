@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestEngineLiveStateSettles pins the observability surface a finished
+// sweep must present: gauges settled (queued=0, active=0, done=N), the
+// provenance log complete, run metrics merged into the live aggregate,
+// and per-workload wall-time histograms covering every executed run.
+func TestEngineLiveStateSettles(t *testing.T) {
+	eng := NewEngine()
+	specs := sweepTestSpecs()
+	results, err := eng.RunAll(context.Background(), specs, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+
+	st := eng.State()
+	if st.Queued != 0 || st.Active != 0 || st.Done != int64(len(specs)) {
+		t.Errorf("state = %+v, want queued 0, active 0, done %d", st, len(specs))
+	}
+	if !st.Accepting {
+		t.Error("engine not accepting after sweep")
+	}
+	if st.SweepDone != len(specs) || st.SweepTotal != len(specs) {
+		t.Errorf("sweep progress %d/%d, want %d/%d", st.SweepDone, st.SweepTotal, len(specs), len(specs))
+	}
+
+	log := eng.RunLog()
+	if len(log) != len(specs) {
+		t.Fatalf("%d run records, want %d", len(log), len(specs))
+	}
+	seenIDs := map[uint64]bool{}
+	for _, r := range log {
+		if seenIDs[r.RunID] {
+			t.Errorf("duplicate run id %d", r.RunID)
+		}
+		seenIDs[r.RunID] = true
+		if r.SpecHash == "" || r.Workload == "" || r.Design == "" {
+			t.Errorf("incomplete record: %+v", r)
+		}
+	}
+
+	// The aggregate carries every run's core metrics: total TLB lookups
+	// across the six runs must match the per-result sum.
+	var want uint64
+	for _, r := range results {
+		for _, m := range r.Metrics {
+			if m.Name == "tlb.lookups" {
+				want += m.Value
+			}
+		}
+	}
+	var got uint64
+	for _, m := range eng.LiveMetrics() {
+		if m.Name == "tlb.lookups" {
+			got = m.Value
+		}
+	}
+	if want == 0 || got != want {
+		t.Errorf("aggregated tlb.lookups = %d, want %d (nonzero)", got, want)
+	}
+
+	// Wall histograms: one metric per workload, counts covering the
+	// executed runs (3 designs each).
+	byWorkload := map[string]uint64{}
+	for _, m := range eng.WallTimes() {
+		byWorkload[m.Name] = m.Count
+	}
+	if byWorkload["espresso"] != 3 || byWorkload["perl"] != 3 {
+		t.Errorf("wall histogram counts = %v, want 3 per workload", byWorkload)
+	}
+}
+
+// TestEngineRunLoggerEmitsRunScopedRecords checks the slog plumbing:
+// with a logger attached, each run emits a structured completion record
+// carrying the run-scoped attributes.
+func TestEngineRunLoggerEmitsRunScopedRecords(t *testing.T) {
+	var buf bytes.Buffer
+	eng := NewEngine()
+	eng.Logger = slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+
+	spec := sweepTestSpecs()[0]
+	ctx := context.Background()
+	if r := eng.Run(ctx, spec); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r := eng.Run(ctx, spec); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+
+	out := buf.String()
+	for _, want := range []string{
+		`"msg":"run finished"`,
+		`"workload":"espresso"`,
+		`"design":"T4"`,
+		`"spec_hash":`,
+		`"run_id":`,
+		`"seed":1`,
+		`"cache":"miss"`,
+		`"cache":"hit"`,
+		`"wall_ms":`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestEngineHeartbeatFires checks the watchdog hook: dispatch, progress
+// ticks, and completion all touch the heartbeat.
+func TestEngineHeartbeatFires(t *testing.T) {
+	eng := NewEngine()
+	beats := 0
+	eng.Heartbeat = func() { beats++ } // Run is called serially here
+	spec := sweepTestSpecs()[0]
+	spec.ProgressEvery = 1000
+	if r := eng.Run(context.Background(), spec); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if beats < 3 {
+		t.Errorf("heartbeat fired %d times, want >= 3 (dispatch, ticks, completion)", beats)
+	}
+}

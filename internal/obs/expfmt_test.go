@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"hbat/internal/stats"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"tlb.port_queue_depth": "hbat_tlb_port_queue_depth",
+		"sweep.runs_executed":  "hbat_sweep_runs_executed",
+		"weird-name.1":         "hbat_weird_name_1",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWriteExpositionGolden pins the exposition byte-for-byte: family
+// ordering (sorted by name), series ordering (sorted by label
+// signature), label escaping, cumulative histogram buckets ending at
+// +Inf, and _sum/_count lines.
+func TestWriteExpositionGolden(t *testing.T) {
+	fams := []Family{
+		{Name: "hbat_zeta_total", Kind: "counter", Help: "Last declared, first alphabetically after others.",
+			Series: []Series{{Value: 3}}},
+		{Name: "hbat_latency_ms", Kind: "histogram", Help: "A histogram.",
+			Hists: []HistSeries{
+				{Labels: []Label{{"workload", "perl"}}, Bounds: []int64{1, 4}, Counts: []uint64{2, 1, 1}, Sum: 9.5, Count: 4},
+				{Labels: []Label{{"workload", "gcc"}}, Bounds: []int64{1, 4}, Counts: []uint64{1, 0, 0}, Sum: 0.5, Count: 1},
+			}},
+		{Name: "hbat_gauge", Kind: "gauge", Help: `Escapes: back\slash and
+newline.`,
+			Series: []Series{{Labels: []Label{{"q", `a"b\c` + "\n"}}, Value: 1.5}}},
+	}
+	var b strings.Builder
+	if err := WriteExposition(&b, fams); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP hbat_gauge Escapes: back\\slash and\nnewline.
+# TYPE hbat_gauge gauge
+hbat_gauge{q="a\"b\\c\n"} 1.5
+# HELP hbat_latency_ms A histogram.
+# TYPE hbat_latency_ms histogram
+hbat_latency_ms_bucket{workload="gcc",le="1"} 1
+hbat_latency_ms_bucket{workload="gcc",le="4"} 1
+hbat_latency_ms_bucket{workload="gcc",le="+Inf"} 1
+hbat_latency_ms_sum{workload="gcc"} 0.5
+hbat_latency_ms_count{workload="gcc"} 1
+hbat_latency_ms_bucket{workload="perl",le="1"} 2
+hbat_latency_ms_bucket{workload="perl",le="4"} 3
+hbat_latency_ms_bucket{workload="perl",le="+Inf"} 4
+hbat_latency_ms_sum{workload="perl"} 9.5
+hbat_latency_ms_count{workload="perl"} 4
+# HELP hbat_zeta_total Last declared, first alphabetically after others.
+# TYPE hbat_zeta_total counter
+hbat_zeta_total 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// The golden output must also satisfy our own validator.
+	if _, err := ParseExposition(strings.NewReader(b.String())); err != nil {
+		t.Errorf("golden output fails validation: %v", err)
+	}
+}
+
+// TestSnapshotFamiliesRoundTrip renders a real registry snapshot and
+// validates it parses, with gauges and histograms growing _max
+// companions.
+func TestSnapshotFamiliesRoundTrip(t *testing.T) {
+	r := stats.NewRegistry()
+	r.Counter("tlb.lookups").Add(12)
+	g := r.Gauge("rob.depth")
+	g.Set(9)
+	g.Set(4)
+	h := r.Histogram("tlb.walk_latency", []int64{1, 4, 16})
+	for _, v := range []int64{0, 3, 20} {
+		h.Observe(v)
+	}
+
+	fams := SnapshotFamilies(r.Snapshot(), Label{"run", "1"})
+	var b strings.Builder
+	if err := WriteExposition(&b, fams); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"hbat_tlb_lookups{run=\"1\"} 12",
+		"hbat_rob_depth{run=\"1\"} 4",
+		"hbat_rob_depth_max{run=\"1\"} 9",
+		"hbat_tlb_walk_latency_bucket{run=\"1\",le=\"+Inf\"} 3",
+		"hbat_tlb_walk_latency_max{run=\"1\"} 20",
+		"hbat_tlb_walk_latency_count{run=\"1\"} 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ParseExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("snapshot exposition invalid: %v", err)
+	}
+}
+
+func TestWriteExpositionRejectsKindConflict(t *testing.T) {
+	fams := []Family{
+		{Name: "hbat_x", Kind: "counter", Series: []Series{{Value: 1}}},
+		{Name: "hbat_x", Kind: "gauge", Series: []Series{{Value: 2}}},
+	}
+	if err := WriteExposition(&strings.Builder{}, fams); err == nil {
+		t.Error("conflicting kinds for one family not rejected")
+	}
+}

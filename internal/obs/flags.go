@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"time"
+
+	"hbat/internal/harness"
+)
+
+// Flags is the shared observability flag set every cmd/hbat* binary
+// registers: -obs, -log-level, -log-format, and -obs-watchdog.
+type Flags struct {
+	Addr     string
+	LogLevel string
+	Format   string
+	Watchdog time.Duration
+}
+
+// AddFlags registers the observability flags on fs and returns the
+// struct they populate.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Addr, "obs", "", "serve /metrics, /health, /ready, and /debug/pprof on this address (e.g. :8090; empty = off)")
+	fs.StringVar(&f.LogLevel, "log-level", "info", "log verbosity: debug, info, warn, or error")
+	fs.StringVar(&f.Format, "log-format", "text", "log encoding: text or json")
+	fs.DurationVar(&f.Watchdog, "obs-watchdog", 2*time.Minute, "report unhealthy when a sweep makes no progress for this long (0 = never)")
+	return f
+}
+
+// NewLogger builds the slog logger the flags describe, writing to w.
+func (f *Flags) NewLogger(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(f.LogLevel) {
+	case "debug":
+		level = slog.LevelDebug
+	case "info", "":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", f.LogLevel)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(f.Format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", f.Format)
+	}
+}
+
+// Setup wires the flags into a logger and, when -obs is set, a running
+// observability server bound to the engine: the logger becomes the
+// engine's run logger, the progress watchdog becomes its heartbeat,
+// and ctx cancellation flips the engine to draining so /ready reports
+// it. With -obs unset no listener is opened and no goroutine started;
+// only the logger is returned. logw receives log output (typically
+// os.Stderr). Callers must Close the returned server when non-nil.
+func (f *Flags) Setup(ctx context.Context, logw io.Writer, engine *harness.Engine) (*slog.Logger, *Server, error) {
+	logger, err := f.NewLogger(logw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if engine != nil {
+		engine.Logger = logger
+	}
+	if f.Addr == "" {
+		return logger, nil, nil
+	}
+	var wd *Watchdog
+	if f.Watchdog > 0 {
+		wd = NewWatchdog(f.Watchdog)
+		if engine != nil {
+			engine.Heartbeat = wd.Touch
+		}
+	}
+	srv, err := Start(Config{
+		Addr:     f.Addr,
+		Engine:   engine,
+		Watchdog: wd,
+		Logger:   logger,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if engine != nil && ctx != nil {
+		go func() {
+			<-ctx.Done()
+			engine.SetAccepting(false)
+		}()
+	}
+	logger.Info("observability server listening", "addr", srv.Addr())
+	return logger, srv, nil
+}

@@ -1,0 +1,42 @@
+// Command promcheck validates Prometheus text exposition (version
+// 0.0.4) read from stdin or the named files, using the same parser the
+// obs package's golden tests run. CI pipes a live /metrics scrape
+// through it:
+//
+//	curl -s localhost:8090/metrics | go run ./internal/obs/promcheck
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"hbat/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		check("<stdin>", os.Stdin)
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		check(path, f)
+		f.Close()
+	}
+}
+
+func check(name string, f *os.File) {
+	n, err := obs.ParseExposition(f)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", name, err))
+	}
+	fmt.Printf("%s: ok (%d samples)\n", name, n)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "promcheck:", err)
+	os.Exit(1)
+}

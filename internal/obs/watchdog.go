@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog is the last-progress liveness monitor behind /health: the
+// sweep engine touches it on every dispatch, machine progress tick, and
+// run completion, and the health endpoint reports unhealthy when work
+// is in flight but no touch has arrived within the timeout — a wedged
+// run is detectable from outside the process.
+type Watchdog struct {
+	timeout time.Duration
+	last    atomic.Int64     // unix nanos of the latest Touch
+	now     func() time.Time // test hook
+}
+
+// NewWatchdog returns a watchdog that trips after timeout without a
+// Touch (timeout <= 0 never trips). It starts freshly touched.
+func NewWatchdog(timeout time.Duration) *Watchdog {
+	w := &Watchdog{timeout: timeout, now: time.Now}
+	w.Touch()
+	return w
+}
+
+// Touch records progress now.
+func (w *Watchdog) Touch() { w.last.Store(w.now().UnixNano()) }
+
+// Age returns the time since the last Touch.
+func (w *Watchdog) Age() time.Duration {
+	return w.now().Sub(time.Unix(0, w.last.Load()))
+}
+
+// Timeout returns the configured trip threshold.
+func (w *Watchdog) Timeout() time.Duration { return w.timeout }
+
+// Expired reports whether the timeout elapsed without a Touch.
+func (w *Watchdog) Expired() bool {
+	return w.timeout > 0 && w.Age() > w.timeout
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMergeFoldsSnapshots pins the cross-run aggregation contract the
+// observability layer depends on: merging two runs' snapshots sums
+// counters and histogram buckets, keeps gauge/histogram high-water
+// marks, and leaves the source snapshots untouched.
+func TestMergeFoldsSnapshots(t *testing.T) {
+	mk := func(c uint64, g, gmax int64, obs []int64) Snapshot {
+		r := NewRegistry()
+		r.Counter("tlb.lookups").Add(c)
+		gauge := r.Gauge("rob.depth")
+		gauge.Set(gmax)
+		gauge.Set(g)
+		h := r.Histogram("tlb.walk_latency", []int64{1, 4})
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+
+	agg := NewRegistry()
+	agg.Merge(mk(10, 2, 5, []int64{0, 3, 9}))
+	agg.Merge(mk(7, 4, 3, []int64{1, 1}))
+	snap := agg.Snapshot()
+
+	byName := map[string]Metric{}
+	for _, m := range snap {
+		byName[m.Name] = m
+	}
+	if c := byName["tlb.lookups"]; c.Value != 17 {
+		t.Errorf("counter = %d, want 17", c.Value)
+	}
+	if g := byName["rob.depth"]; g.Level != 4 || g.Max != 5 {
+		t.Errorf("gauge level %d max %d, want 4/5", g.Level, g.Max)
+	}
+	h := byName["tlb.walk_latency"]
+	if h.Count != 5 || h.Sum != 14 || h.Max != 9 {
+		t.Errorf("hist count %d sum %d max %d, want 5/14/9", h.Count, h.Sum, h.Max)
+	}
+	// Buckets: le1 {0,1,1}=3, le4 {3}=1, +Inf {9}=1.
+	if want := []uint64{3, 1, 1}; !reflect.DeepEqual(h.Buckets, want) {
+		t.Errorf("buckets %v, want %v", h.Buckets, want)
+	}
+}
+
+// TestMergeMismatchedBounds pins the fallback: a snapshot histogram
+// whose bounds differ from the aggregate's folds entirely into the
+// overflow bucket, keeping sum(buckets) == count (the exposition
+// invariant /metrics relies on).
+func TestMergeMismatchedBounds(t *testing.T) {
+	agg := NewRegistry()
+	agg.Histogram("lat", []int64{1, 2}).Observe(1)
+
+	other := NewRegistry()
+	other.Histogram("lat", []int64{10, 20}).Observe(15)
+	other.Histogram("lat", []int64{10, 20}).Observe(3)
+	agg.Merge(other.Snapshot())
+
+	h := agg.Histogram("lat", []int64{1, 2})
+	_, counts := h.Buckets()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != h.Count() || h.Count() != 3 {
+		t.Errorf("bucket total %d vs count %d (want equal, 3)", total, h.Count())
+	}
+	if counts[len(counts)-1] != 2 {
+		t.Errorf("overflow bucket = %d, want 2 (mismatched-bounds samples)", counts[len(counts)-1])
+	}
+}
+
+// TestMergeIntoEmptyRegistry checks Merge creates metrics it has not
+// seen, preserving kinds.
+func TestMergeIntoEmptyRegistry(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("a.b").Inc()
+	src.Gauge("c.d").Set(9)
+	src.Histogram("e.f", []int64{1}).Observe(2)
+
+	agg := NewRegistry()
+	agg.Merge(src.Snapshot())
+	if !reflect.DeepEqual(agg.Snapshot(), src.Snapshot()) {
+		t.Errorf("merge into empty registry is not identity:\n%v\nvs\n%v", agg.Snapshot(), src.Snapshot())
+	}
+}

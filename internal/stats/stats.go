@@ -10,7 +10,11 @@
 // A Registry belongs to one simulated machine and is not safe for
 // concurrent use — the harness runs machines in parallel, but each owns
 // its registry exclusively, which keeps the hot increment paths free of
-// synchronization.
+// synchronization. Cross-run aggregation (the /metrics endpoint of
+// internal/obs) therefore never reads a live machine's registry:
+// the sweep engine folds each completed run's Snapshot into a private
+// aggregate registry under its own lock (Registry.Merge), and scrapes
+// read only that aggregate.
 package stats
 
 import (
@@ -253,6 +257,59 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	}
 	r.histograms[name] = h
 	return h
+}
+
+// Merge folds a snapshot into the registry, creating metrics on first
+// sight: counters add their values, gauges take the incoming level and
+// the maximum of the two maxima, and histograms add bucket-wise. A
+// histogram whose bucket bounds differ from the already-registered ones
+// folds its samples into the overflow bucket instead, so the bucket
+// totals always still equal the count (the invariant the Prometheus
+// exposition relies on).
+//
+// Merge is how per-run registries become a live aggregate without
+// locking the hot increment paths: each machine owns its registry
+// exclusively during the run, and the sweep engine merges the finished
+// run's Snapshot under the engine lock.
+func (r *Registry) Merge(s Snapshot) {
+	for _, m := range s {
+		switch m.Kind {
+		case "counter":
+			r.Counter(m.Name).Add(m.Value)
+		case "gauge":
+			g := r.Gauge(m.Name)
+			g.Set(m.Level)
+			if m.Max > g.max {
+				g.max = m.Max
+			}
+		case "histogram":
+			h := r.Histogram(m.Name, m.Bounds)
+			if boundsEqual(h.bounds, m.Bounds) && len(m.Buckets) == len(h.counts) {
+				for i, c := range m.Buckets {
+					h.counts[i] += c
+				}
+			} else {
+				h.counts[len(h.counts)-1] += m.Count
+			}
+			h.n += m.Count
+			h.sum += m.Sum
+			if m.Max > h.max {
+				h.max = m.Max
+			}
+		}
+	}
+}
+
+func boundsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Metric is one exported metric in a Snapshot. Exactly one of the
