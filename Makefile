@@ -25,10 +25,10 @@ bench:
 	go test -bench=. -benchmem -benchtime=1x .
 
 # Time a test-scale full report with the sweep caches disabled vs
-# enabled; writes the wall times, ratio, and cache counters to
-# BENCH_sweep.json.
+# enabled (BENCH_sweep.json), then the full design grid from reset vs
+# two-phase fast-forward (BENCH_ffwd.json).
 bench-sweep:
-	go run ./cmd/hbat-bench-sweep -scale test -o BENCH_sweep.json
+	go run ./cmd/hbat-bench-sweep -scale test -o BENCH_sweep.json -ffwd-o BENCH_ffwd.json
 
 # Regenerate every table and figure at small scale (minutes: use
 # SCALE=full for the EXPERIMENTS.md headline numbers). Writes
@@ -52,4 +52,4 @@ cover:
 	go test -cover ./...
 
 clean:
-	rm -f report.html BENCH_sweep.json manifest.json results_full.txt
+	rm -f report.html BENCH_sweep.json BENCH_ffwd.json manifest.json results_full.txt coverage.out

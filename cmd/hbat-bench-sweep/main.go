@@ -5,9 +5,16 @@
 // (BENCH_sweep.json by default). A third, fully-warm pass over the
 // enabled engine records the ceiling, where every spec is a memo hit.
 //
+// It then benchmarks the two-phase fast-forward methodology: the full
+// design × workload grid simulated from reset versus the same grid
+// fast-forwarding 90% of each workload functionally (one warmed
+// checkpoint per workload, shared across all designs). The wall times
+// and their ratio are written as JSON (BENCH_ffwd.json by default;
+// -ffwd=false skips the pass).
+//
 // Usage:
 //
-//	hbat-bench-sweep                 # test scale, writes BENCH_sweep.json
+//	hbat-bench-sweep                 # test scale, writes BENCH_sweep.json + BENCH_ffwd.json
 //	hbat-bench-sweep -scale small -o bench.json
 package main
 
@@ -23,7 +30,12 @@ import (
 	"time"
 
 	"hbat"
+	"hbat/internal/emu"
+	"hbat/internal/harness"
 	"hbat/internal/obs"
+	"hbat/internal/prog"
+	"hbat/internal/tlb"
+	"hbat/internal/workload"
 )
 
 // artifacts is the grid the benchmark times: the five artifacts whose
@@ -50,6 +62,120 @@ type result struct {
 	SpecMisses  uint64 `json:"spec_misses"`
 }
 
+// ffwdResult is the two-phase benchmark's output (BENCH_ffwd.json).
+type ffwdResult struct {
+	Scale     string   `json:"scale"`
+	Workloads []string `json:"workloads"`
+	Designs   []string `json:"designs"`
+	// Fraction of each workload's functional instruction count that is
+	// fast-forwarded; FastForward holds the resulting per-workload N.
+	Fraction    float64           `json:"fraction"`
+	FastForward map[string]uint64 `json:"fast_forward"`
+	// FullSeconds runs the grid from reset; FFwdSeconds fast-forwards
+	// through the warm-up functionally. Both passes use a fresh engine
+	// with pre-built programs, so they time simulation alone.
+	FullSeconds float64 `json:"full_seconds"`
+	FFwdSeconds float64 `json:"ffwd_seconds"`
+	// Speedup is full over fast-forwarded wall time.
+	Speedup float64 `json:"speedup_full_over_ffwd"`
+
+	CkptHits   uint64 `json:"ckpt_hits"`
+	CkptMisses uint64 `json:"ckpt_misses"`
+}
+
+// benchFFwd times the full design × workload grid from reset and with
+// 90% fast-forward, on fresh engines with prewarmed builds.
+func benchFFwd(ctx context.Context, scaleName string) (*ffwdResult, error) {
+	var scale workload.Scale
+	switch scaleName {
+	case "test":
+		scale = workload.ScaleTest
+	case "small":
+		scale = workload.ScaleSmall
+	case "full":
+		scale = workload.ScaleFull
+	default:
+		return nil, fmt.Errorf("unknown scale %q", scaleName)
+	}
+	res := &ffwdResult{
+		Scale:       scaleName,
+		Workloads:   workload.Names(),
+		Designs:     tlb.DesignOrder,
+		Fraction:    0.9,
+		FastForward: make(map[string]uint64),
+	}
+	// Per-workload N = 90% of the functional instruction count: the
+	// measured window is the last tenth of each program.
+	for _, name := range res.Workloads {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		p, err := w.Build(prog.Budget32, scale)
+		if err != nil {
+			return nil, err
+		}
+		em, err := emu.New(p, 4096)
+		if err != nil {
+			return nil, err
+		}
+		if err := em.Run(0); err != nil {
+			return nil, err
+		}
+		res.FastForward[name] = em.InstCount * 9 / 10
+	}
+	specs := func(ffwd bool) []harness.RunSpec {
+		var out []harness.RunSpec
+		for _, d := range res.Designs {
+			for _, w := range res.Workloads {
+				s := harness.RunSpec{
+					Workload: w, Design: d, Budget: prog.Budget32,
+					Scale: scale, PageSize: 4096, Seed: 1,
+				}
+				if ffwd {
+					s.FastForward = res.FastForward[w]
+				}
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	pass := func(ffwd bool) (time.Duration, *harness.Engine, error) {
+		e := harness.NewEngine()
+		ss := specs(ffwd)
+		if err := e.PrewarmBuilds(ctx, ss); err != nil {
+			return 0, nil, err
+		}
+		start := time.Now()
+		results, err := e.RunAll(ctx, ss, 0, nil)
+		if err != nil {
+			return 0, nil, err
+		}
+		for i := range results {
+			if results[i].Err != nil {
+				return 0, nil, results[i].Err
+			}
+		}
+		return time.Since(start), e, nil
+	}
+	full, _, err := pass(false)
+	if err != nil {
+		return nil, err
+	}
+	res.FullSeconds = full.Seconds()
+	ffwd, fe, err := pass(true)
+	if err != nil {
+		return nil, err
+	}
+	res.FFwdSeconds = ffwd.Seconds()
+	if ffwd > 0 {
+		res.Speedup = full.Seconds() / ffwd.Seconds()
+	}
+	cs := fe.CacheStats()
+	res.CkptHits, res.CkptMisses = cs.CkptHits, cs.CkptMisses
+	return res, nil
+}
+
 // pass generates every artifact once and returns the elapsed wall time.
 func pass(ctx context.Context, scale string, noCache bool) (time.Duration, error) {
 	opts := hbat.ExperimentOptions{Scale: scale, NoCache: noCache}
@@ -66,6 +192,8 @@ func main() {
 	var (
 		scale    = flag.String("scale", "test", "workload scale: test, small, or full")
 		out      = flag.String("o", "BENCH_sweep.json", "output JSON path")
+		ffwd     = flag.Bool("ffwd", true, "also benchmark two-phase fast-forward vs full runs")
+		ffwdOut  = flag.String("ffwd-o", "BENCH_ffwd.json", "output JSON path for the fast-forward benchmark")
 		manifest = flag.String("manifest", "", "write a run-provenance manifest (runs + result SHA-256) to this file")
 	)
 	obsFlags := obs.AddFlags(flag.CommandLine)
@@ -127,10 +255,35 @@ func main() {
 		"warm_s", res.WarmPassSeconds, "path", *out)
 	os.Stdout.Write(data)
 
+	var ffwdData []byte
+	if *ffwd {
+		logger.Info("bench pass", "pass", "ffwd", "grid", "full design x workload, from reset vs 90% fast-forward")
+		fres, err := benchFFwd(ctx, *scale)
+		if err != nil {
+			fail(err)
+		}
+		ffwdData, err = json.MarshalIndent(fres, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		ffwdData = append(ffwdData, '\n')
+		if err := os.WriteFile(*ffwdOut, ffwdData, 0o644); err != nil {
+			fail(err)
+		}
+		logger.Info("ffwd bench result", "full_s", fres.FullSeconds,
+			"ffwd_s", fres.FFwdSeconds, "speedup", fres.Speedup,
+			"ckpt_hits", fres.CkptHits, "ckpt_misses", fres.CkptMisses,
+			"path", *ffwdOut)
+		os.Stdout.Write(ffwdData)
+	}
+
 	if *manifest != "" {
 		m := hbat.NewManifest("hbat-bench-sweep")
 		m.RecordRuns(hbat.SweepEngine())
 		m.AddArtifactBytes("bench.json", *out, data)
+		if ffwdData != nil {
+			m.AddArtifactBytes("bench_ffwd.json", *ffwdOut, ffwdData)
+		}
 		if err := m.WriteFile(*manifest); err != nil {
 			fail(err)
 		}

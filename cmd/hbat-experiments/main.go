@@ -38,6 +38,9 @@ func main() {
 		scale    = flag.String("scale", "small", "workload scale: test, small, or full")
 		par      = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		seed     = flag.Uint64("seed", 1, "seed for randomized structures")
+		ffwd     = flag.Uint64("ffwd", 0, "fast-forward: functionally execute the first N instructions per run and measure only the remainder (0 = run from reset)")
+		ckptDir  = flag.String("ckpt-dir", "", "persist fast-forward checkpoints in this directory (reused across invocations)")
+		resume   = flag.String("resume", "", "resume journal path: completed runs are logged here and an interrupted sweep restarts from it")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		csvDir   = flag.String("csv", "", "also write fig5/7/8/9 results as CSV files into this directory")
 		manifest = flag.String("manifest", "manifest.json", "write a run-provenance manifest (runs + artifact SHA-256s) to this file (\"\" = off)")
@@ -56,6 +59,17 @@ func main() {
 		defer srv.Close()
 	}
 
+	if *ckptDir != "" {
+		hbat.SetCheckpointDir(*ckptDir)
+	}
+	if *resume != "" {
+		n, err := hbat.ResumeJournal(*resume)
+		if err != nil {
+			fail(err)
+		}
+		logger.Info("resume journal attached", "path", *resume, "runs_resumed", n)
+	}
+
 	csvCapable := make(map[string]bool)
 	for _, name := range hbat.CSVExperimentNames() {
 		csvCapable[name] = true
@@ -68,7 +82,7 @@ func main() {
 		names = []string{*only}
 	}
 	for _, name := range names {
-		opts := hbat.ExperimentOptions{Scale: *scale, Parallelism: *par, Seed: *seed}
+		opts := hbat.ExperimentOptions{Scale: *scale, Parallelism: *par, Seed: *seed, FastForward: *ffwd}
 		if !*quiet {
 			logger.Info("experiment start", "name", name, "scale", *scale)
 			opts.Progress = func(p hbat.RunProgress) {
@@ -119,7 +133,8 @@ func main() {
 		s := hbat.SweepStats()
 		logger.Info("sweep cache summary",
 			"build_hits", s.BuildHits, "build_misses", s.BuildMisses,
-			"spec_hits", s.SpecHits, "spec_misses", s.SpecMisses)
+			"spec_hits", s.SpecHits, "spec_misses", s.SpecMisses,
+			"ckpt_hits", s.CkptHits, "ckpt_misses", s.CkptMisses)
 	}
 }
 

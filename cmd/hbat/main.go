@@ -5,6 +5,7 @@
 //
 //	hbat [-workload compress] [-design T4] [-pagesize 4096] [-inorder]
 //	     [-fewregs] [-scale small] [-seed 1] [-maxinsts N] [-lockstep]
+//	     [-ffwd N] [-ckpt-dir dir]
 //	     [-metrics out.json] [-metrics-csv out.csv]
 //	     [-trace out.json] [-trace-format perfetto|konata]
 //	     [-trace-start N] [-trace-end N] [-trace-buffer N] [-trace-summary]
@@ -60,6 +61,8 @@ func run(ctx context.Context) error {
 		scale      = flag.String("scale", "small", "workload scale: test, small, or full")
 		seed       = flag.Uint64("seed", 1, "seed for randomized structures")
 		maxInsts   = flag.Uint64("maxinsts", 0, "cap on committed instructions (0 = to completion)")
+		ffwd       = flag.Uint64("ffwd", 0, "fast-forward: functionally execute the first N instructions and measure only the remainder (0 = run from reset)")
+		ckptDir    = flag.String("ckpt-dir", "", "persist fast-forward checkpoints in this directory (reused across invocations)")
 		lockstep   = flag.Bool("lockstep", false, "verify every commit against the golden emulator (differential check)")
 		metrics    = flag.String("metrics", "", "write the run's metrics registry as JSON to this file (\"-\" = stdout)")
 		metricsCSV = flag.String("metrics-csv", "", "write the run's metrics registry as CSV to this file (\"-\" = stdout)")
@@ -146,7 +149,11 @@ func run(ctx context.Context) error {
 		Scale:        *scale,
 		Seed:         *seed,
 		MaxInsts:     *maxInsts,
+		FastForward:  *ffwd,
 		Lockstep:     *lockstep,
+	}
+	if *ckptDir != "" {
+		hbat.SetCheckpointDir(*ckptDir)
 	}
 	if *traceFile != "" || *traceSummary {
 		switch *traceFormat {
@@ -191,6 +198,9 @@ func run(ctx context.Context) error {
 	fmt.Printf("design         %s\n", res.Design)
 	if *lockstep {
 		fmt.Printf("lockstep       verified %d commits against the emulator\n", res.Instructions)
+	}
+	if res.FastForwarded > 0 {
+		fmt.Printf("fast-forward   %d instructions warmed functionally; stats cover the measurement window\n", res.FastForwarded)
 	}
 	fmt.Printf("cycles         %d\n", res.Cycles)
 	fmt.Printf("instructions   %d (%d loads, %d stores)\n", res.Instructions, res.Loads, res.Stores)

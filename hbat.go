@@ -48,6 +48,18 @@ func SweepStats() SweepCacheStats { return defaultEngine.CacheStats() }
 // /metrics scrapes) to the same engine the facade drives.
 func SweepEngine() *harness.Engine { return defaultEngine }
 
+// SetCheckpointDir makes the shared sweep engine persist fast-forward
+// checkpoints under dir, so later processes skip the functional warm-up
+// for specs they have already warmed. Call before the first simulation.
+func SetCheckpointDir(dir string) { defaultEngine.CkptDir = dir }
+
+// ResumeJournal attaches a crash-safe resume journal to the shared
+// sweep engine: completed runs are appended as they finish, and runs
+// already journaled by an interrupted sweep are served without
+// re-simulating, reproducing the same artifacts byte-for-byte. Returns
+// the number of runs resumed. Call before the first simulation.
+func ResumeJournal(path string) (int, error) { return defaultEngine.SetJournal(path) }
+
 // Manifest is the run-provenance record written alongside sweep
 // artifacts; see harness.Manifest.
 type Manifest = harness.Manifest
@@ -84,6 +96,12 @@ type Options struct {
 	// MaxInsts optionally caps committed instructions (0 = run to
 	// completion).
 	MaxInsts uint64
+	// FastForward, when positive, executes the first N instructions
+	// functionally (warming TLB, cache, and predictor state) and
+	// measures only the remainder cycle-accurately — the two-phase
+	// methodology. Reported statistics cover the measurement window
+	// only. N must be smaller than the workload's instruction count.
+	FastForward uint64
 	// Lockstep runs the golden-model differential checker alongside the
 	// pipeline: any divergence of architected state from the functional
 	// emulator is returned as an error instead of skewing statistics.
@@ -136,6 +154,10 @@ type Result struct {
 	Instructions uint64
 	Loads        uint64
 	Stores       uint64
+	// FastForwarded is the number of instructions executed functionally
+	// before cycle-accurate measurement began (Options.FastForward);
+	// every other field covers the measurement window only.
+	FastForwarded uint64
 
 	IPC            float64
 	IssueIPC       float64
@@ -188,14 +210,15 @@ func (o Options) spec() (harness.RunSpec, error) {
 		return harness.RunSpec{}, err
 	}
 	spec := harness.RunSpec{
-		Workload: o.Workload,
-		Design:   o.Design,
-		Budget:   prog.Budget32,
-		Scale:    scale,
-		PageSize: o.PageSize,
-		InOrder:  o.InOrder,
-		Seed:     o.Seed,
-		MaxInsts: o.MaxInsts,
+		Workload:    o.Workload,
+		Design:      o.Design,
+		Budget:      prog.Budget32,
+		Scale:       scale,
+		PageSize:    o.PageSize,
+		InOrder:     o.InOrder,
+		Seed:        o.Seed,
+		MaxInsts:    o.MaxInsts,
+		FastForward: o.FastForward,
 	}
 	if spec.Workload == "" {
 		spec.Workload = "compress"
@@ -262,6 +285,7 @@ func SimulateContext(ctx context.Context, o Options) (*Result, error) {
 		Workload:       spec.Workload,
 		Cycles:         r.Stats.Cycles,
 		Instructions:   r.Stats.Committed,
+		FastForwarded:  r.Stats.FastForwarded,
 		Loads:          r.Stats.CommittedLoads,
 		Stores:         r.Stats.CommittedStores,
 		IPC:            r.Stats.IPC(),
@@ -340,6 +364,11 @@ type ExperimentOptions struct {
 	Parallelism int
 	// Seed drives randomized structures (default 1).
 	Seed uint64
+	// FastForward applies the two-phase methodology to every timing run
+	// in the grid: the first N instructions execute functionally (one
+	// warmed checkpoint per workload, shared across all designs) and
+	// statistics cover only the remainder. Zero runs from reset.
+	FastForward uint64
 	// Workloads/Designs restrict the grid (nil = everything).
 	Workloads []string
 	Designs   []string
@@ -361,6 +390,7 @@ func (o ExperimentOptions) harness() (harness.Options, error) {
 		Scale:       scale,
 		Parallelism: o.Parallelism,
 		Seed:        o.Seed,
+		FastForward: o.FastForward,
 		Workloads:   o.Workloads,
 		Designs:     o.Designs,
 		Engine:      defaultEngine,

@@ -5,6 +5,8 @@
 // branches and indirect jumps.
 package bpred
 
+import "fmt"
+
 // Config describes the predictor.
 type Config struct {
 	HistoryBits       int // global history register width
@@ -154,3 +156,65 @@ func (p *Predictor) Stats() *Stats { return &p.stats }
 
 // MispredictPenalty returns the configured redirect penalty in cycles.
 func (p *Predictor) MispredictPenalty() int64 { return p.cfg.MispredictPenalty }
+
+// WarmCond trains the predictor with the actual outcome of the
+// conditional branch at pc without recording statistics: the counter
+// indexed under the current history is updated and the outcome is
+// shifted into the history register, exactly as a correctly predicted
+// branch would have done in the timed pipeline.
+func (p *Predictor) WarmCond(pc uint64, taken bool) {
+	idx := p.index(pc)
+	ctr := p.pht[idx]
+	if taken {
+		if ctr < 3 {
+			p.pht[idx] = ctr + 1
+		}
+	} else if ctr > 0 {
+		p.pht[idx] = ctr - 1
+	}
+	bit := uint64(0)
+	if taken {
+		bit = 1
+	}
+	p.ghr = ((p.ghr << 1) | bit) & p.ghrMask
+}
+
+// BTBState is the serializable image of one BTB entry.
+type BTBState struct {
+	PC     uint64
+	Target uint64
+	Valid  bool
+}
+
+// State is the serializable image of the predictor's tables. Statistics
+// are excluded: a restored predictor starts its counters at zero.
+type State struct {
+	PHT []uint8
+	GHR uint64
+	BTB []BTBState
+}
+
+// ExportState captures the predictor's tables.
+func (p *Predictor) ExportState() State {
+	st := State{PHT: append([]uint8(nil), p.pht...), GHR: p.ghr}
+	st.BTB = make([]BTBState, len(p.btb))
+	for i, e := range p.btb {
+		st.BTB[i] = BTBState{PC: e.pc, Target: e.target, Valid: e.valid}
+	}
+	return st
+}
+
+// ImportState restores tables captured by ExportState. It fails if the
+// geometry does not match this predictor's configuration.
+func (p *Predictor) ImportState(st State) error {
+	if len(st.PHT) != len(p.pht) || len(st.BTB) != len(p.btb) {
+		return fmt.Errorf("bpred: state geometry pht=%d btb=%d does not match pht=%d btb=%d",
+			len(st.PHT), len(st.BTB), len(p.pht), len(p.btb))
+	}
+	copy(p.pht, st.PHT)
+	p.ghr = st.GHR & p.ghrMask
+	for i, e := range st.BTB {
+		p.btb[i] = btbEntry{pc: e.PC, target: e.Target, valid: e.Valid}
+	}
+	return nil
+}

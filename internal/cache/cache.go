@@ -142,7 +142,21 @@ func (c *Cache) AccessUnported(paddr uint64, write bool, now int64) int64 {
 }
 
 func (c *Cache) access(paddr uint64, write bool, now int64) int64 {
-	c.stats.Accesses++
+	return c.lookupAlloc(paddr, write, now, true)
+}
+
+// WarmAccess performs the same lookup-and-allocate state update as a
+// timed access but records no statistics and claims no port. The
+// functional warm-up phase uses it to pre-populate tag arrays without
+// perturbing the measurement window's counters.
+func (c *Cache) WarmAccess(paddr uint64, write bool, now int64) {
+	c.lookupAlloc(paddr, write, now, false)
+}
+
+func (c *Cache) lookupAlloc(paddr uint64, write bool, now int64, count bool) int64 {
+	if count {
+		c.stats.Accesses++
+	}
 	block := paddr >> c.blockBits
 	set := c.sets[block&c.setMask]
 	tag := block >> 0 // full block address as tag: simple and exact
@@ -153,11 +167,15 @@ func (c *Cache) access(paddr uint64, write bool, now int64) int64 {
 			if write {
 				set[i].dirty = true
 			}
-			c.stats.Hits++
+			if count {
+				c.stats.Hits++
+			}
 			return 0
 		}
 	}
-	c.stats.Misses++
+	if count {
+		c.stats.Misses++
+	}
 
 	// Allocate (write-allocate on stores, standard allocate on loads).
 	victim := 0
@@ -171,7 +189,9 @@ func (c *Cache) access(paddr uint64, write bool, now int64) int64 {
 		}
 	}
 	if set[victim].valid && set[victim].dirty && c.cfg.WriteBack {
-		c.stats.Writebacks++
+		if count {
+			c.stats.Writebacks++
+		}
 	}
 	set[victim] = line{tag: tag, valid: true, dirty: write && c.cfg.WriteBack, used: now}
 	return c.cfg.MissLatency
@@ -203,3 +223,57 @@ func (c *Cache) Flush() {
 
 // Stats returns the cache's counters.
 func (c *Cache) Stats() *Stats { return &c.stats }
+
+// LineState is the serializable image of one cache line. Used holds the
+// warm-up recency stamp; warmed state uses negative stamps so every warm
+// line is older than any measurement-window access (cycles start at 1).
+type LineState struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	Used  int64
+}
+
+// State is the serializable tag/LRU image of a cache, set-major (set 0's
+// ways first). Statistics are deliberately excluded: a restored cache
+// starts its counters at zero.
+type State struct {
+	Sets  int
+	Assoc int
+	Lines []LineState
+}
+
+// ExportState captures the cache's tag array.
+func (c *Cache) ExportState() State {
+	st := State{Sets: len(c.sets), Assoc: c.cfg.Assoc}
+	st.Lines = make([]LineState, 0, len(c.sets)*c.cfg.Assoc)
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			l := c.sets[s][i]
+			st.Lines = append(st.Lines, LineState{Tag: l.tag, Valid: l.valid, Dirty: l.dirty, Used: l.used})
+		}
+	}
+	return st
+}
+
+// ImportState restores a tag array captured by ExportState. It fails if
+// the geometry does not match this cache's configuration.
+func (c *Cache) ImportState(st State) error {
+	if st.Sets != len(c.sets) || st.Assoc != c.cfg.Assoc {
+		return fmt.Errorf("cache %s: state geometry %dx%d does not match %dx%d",
+			c.cfg.Name, st.Sets, st.Assoc, len(c.sets), c.cfg.Assoc)
+	}
+	if len(st.Lines) != st.Sets*st.Assoc {
+		return fmt.Errorf("cache %s: state has %d lines, want %d",
+			c.cfg.Name, len(st.Lines), st.Sets*st.Assoc)
+	}
+	k := 0
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			l := st.Lines[k]
+			c.sets[s][i] = line{tag: l.Tag, valid: l.Valid, dirty: l.Dirty, used: l.Used}
+			k++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWarmAccessNoStats: functional warming must populate the tag array
+// without perturbing any counter, and a later timed access to a warmed
+// block must hit.
+func TestWarmAccessNoStats(t *testing.T) {
+	c := New(DefaultDCache())
+	for i := 0; i < 100; i++ {
+		c.WarmAccess(uint64(i*64), i%3 == 0, int64(i)-100)
+	}
+	if got := *c.Stats(); got != (Stats{}) {
+		t.Fatalf("WarmAccess perturbed stats: %+v", got)
+	}
+	c.BeginCycle(1)
+	extra, ok := c.Access(0, false, 1)
+	if !ok || extra != 0 {
+		t.Fatalf("timed access to warmed block: extra=%d ok=%v, want hit", extra, ok)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("stats after warmed hit: %+v", s)
+	}
+}
+
+// TestWarmNegativeStampsAreOlder: a warmed line (negative stamp) must be
+// the replacement victim before any measurement-window line.
+func TestWarmNegativeStampsAreOlder(t *testing.T) {
+	cfg := Config{Name: "tiny", SizeBytes: 128, Assoc: 2, BlockBytes: 64, MissLatency: 6}
+	c := New(cfg) // one set, two ways
+	c.WarmAccess(0*64, false, -2)
+	c.WarmAccess(1*64, false, -1)
+	c.BeginCycle(1)
+	// Touch block 1 in the window, then allocate a new block: the
+	// untouched warm block 0 must be evicted, not block 1.
+	if extra, _ := c.Access(1*64, false, 1); extra != 0 {
+		t.Fatal("warmed block 1 should hit")
+	}
+	c.AccessUnported(2*64, false, 1)
+	if !c.Probe(1 * 64) {
+		t.Fatal("recently touched block was evicted instead of the stale warm block")
+	}
+	if c.Probe(0 * 64) {
+		t.Fatal("stale warm block survived the allocation")
+	}
+}
+
+func TestCacheStateRoundTrip(t *testing.T) {
+	c := New(DefaultICache())
+	for i := 0; i < 300; i++ {
+		c.WarmAccess(uint64(i*32), false, int64(i)-300)
+	}
+	st := c.ExportState()
+	c2 := New(DefaultICache())
+	if err := c2.ImportState(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.ExportState(); !reflect.DeepEqual(got, st) {
+		t.Fatal("export-import-export is not a fixed point")
+	}
+}
+
+func TestCacheImportGeometryMismatch(t *testing.T) {
+	st := New(DefaultICache()).ExportState()
+	if err := New(Config{Name: "x", SizeBytes: 16 << 10, Assoc: 2, BlockBytes: 32}).ImportState(st); err == nil {
+		t.Fatal("ImportState accepted mismatched geometry")
+	}
+	bad := st
+	bad.Lines = st.Lines[:len(st.Lines)-1]
+	if err := New(DefaultICache()).ImportState(bad); err == nil {
+		t.Fatal("ImportState accepted a short line array")
+	}
+}

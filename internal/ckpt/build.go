@@ -1,0 +1,208 @@
+package ckpt
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"hbat/internal/bpred"
+	"hbat/internal/cache"
+	"hbat/internal/emu"
+	"hbat/internal/isa"
+	"hbat/internal/mem"
+	"hbat/internal/prog"
+	"hbat/internal/vm"
+)
+
+// DefaultWarmCap bounds the retained distinct-page reference stream.
+// Every Table 2 design holds at most 128 base entries plus a small
+// shield, so the most recent 1024 distinct pages fully determine any
+// design's warmed contents with a wide margin.
+const DefaultWarmCap = 1024
+
+// buildCancelMask matches the cycle loop's cancellation granularity:
+// the context is polled every 4096 instructions.
+const buildCancelMask = 4096 - 1
+
+// BuildConfig parameterizes the functional warm-up phase. The cache and
+// predictor geometries must match the measuring machine's configuration
+// or the state import at restore will be rejected.
+type BuildConfig struct {
+	PageSize    uint64
+	FastForward uint64 // instructions to execute functionally (> 0)
+	ICache      cache.Config
+	DCache      cache.Config
+	Branch      bpred.Config
+	WarmCap     int // max warm refs retained; 0 means DefaultWarmCap
+}
+
+// Build runs the functional phase: it executes the first
+// cfg.FastForward instructions of p on the emulator while functionally
+// warming the cache tag arrays, the branch predictor, and the
+// distinct-page reference stream, then snapshots everything into a
+// Checkpoint. The context is polled every 4096 instructions, matching
+// the cycle loop's cancellation granularity. Build fails with
+// ErrShortProgram if the program halts at or before the fast-forward
+// point, leaving no measurement window.
+func Build(ctx context.Context, p *prog.Program, cfg BuildConfig) (*Checkpoint, error) {
+	if cfg.FastForward == 0 {
+		return nil, fmt.Errorf("ckpt: FastForward must be positive")
+	}
+	em, err := emu.New(p, cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	// Mirror the timed machine's loader semantics: program loading must
+	// not leave referenced/dirty bits behind.
+	em.AS.ClearStatus()
+
+	ic := cache.New(cfg.ICache)
+	dc := cache.New(cfg.DCache)
+	pred := bpred.New(cfg.Branch)
+
+	n := cfg.FastForward
+	// Warm-up recency stamps are negative — instruction i of n stamps at
+	// i-n, in [-n, -1] — so every warmed element is strictly older than
+	// anything the measurement window (cycles starting at 1) touches.
+	stamp := func(i uint64) int64 { return int64(i) - int64(n) }
+
+	type warmInfo struct {
+		seq   uint64
+		write bool
+	}
+	warm := make(map[uint64]warmInfo)
+	warmSeq := uint64(0)
+
+	em.OnMemRef = func(vaddr uint64, write bool) {
+		perm := vm.PermRead
+		if write {
+			perm = vm.PermWrite
+		}
+		// Pre-translating here interleaves demand allocation identically
+		// with the emulator's own translate (which finds the PTE already
+		// mapped), so the checkpointed page table is exactly what the
+		// functional phase alone would have produced.
+		paddr, terr := em.AS.Translate(vaddr, perm)
+		if terr != nil {
+			return // the emulator's own access will surface the fault
+		}
+		dc.WarmAccess(paddr, write, stamp(em.InstCount))
+		vpn := em.AS.VPN(vaddr)
+		w := warm[vpn]
+		warm[vpn] = warmInfo{seq: warmSeq, write: w.write || write}
+		warmSeq++
+	}
+
+	for em.InstCount < n {
+		if em.InstCount&buildCancelMask == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("ckpt: build interrupted: %w", cerr)
+			}
+		}
+		if em.Halted {
+			return nil, fmt.Errorf("%w: halted after %d of %d instructions",
+				ErrShortProgram, em.InstCount, n)
+		}
+
+		pcBefore := em.PC
+		in := em.Prog.InstAt(pcBefore)
+		if in == nil {
+			return nil, fmt.Errorf("ckpt: PC 0x%x outside text segment", pcBefore)
+		}
+		// Warm the instruction cache along the fetch path. Walking (not
+		// probing) demand-allocates text pages exactly as the timed
+		// machine's fetch stage does, keeping frame allocation in step.
+		if pte, werr := em.AS.Walk(em.AS.VPN(pcBefore)); werr == nil {
+			paddr := pte.PFN<<em.AS.PageBits() | em.AS.PageOffset(pcBefore)
+			ic.WarmAccess(paddr, false, stamp(em.InstCount))
+		}
+
+		if serr := em.Step(); serr != nil {
+			return nil, fmt.Errorf("ckpt: functional phase: %w", serr)
+		}
+
+		// Train the branch predictor on the resolved control flow.
+		switch in.Class() {
+		case isa.ClassBranch:
+			taken := em.PC != pcBefore+isa.InstBytes
+			pred.WarmCond(pcBefore, taken)
+			if taken {
+				pred.UpdateTarget(pcBefore, em.PC)
+			}
+		case isa.ClassJump:
+			pred.UpdateTarget(pcBefore, em.PC)
+		}
+	}
+	if em.Halted {
+		return nil, fmt.Errorf("%w: halted exactly at the fast-forward point (%d instructions)",
+			ErrShortProgram, n)
+	}
+
+	c := &Checkpoint{
+		PageSize:    cfg.PageSize,
+		FastForward: n,
+		Regs:        em.Regs,
+		PC:          em.PC,
+		InstCount:   em.InstCount,
+		LoadCount:   em.LoadCount,
+		StoreCount:  em.StoreCount,
+		BranchCount: em.BranchCount,
+		TakenCount:  em.TakenCount,
+		Pages:       em.AS.ExportPages(),
+		NextFrame:   em.AS.NextFrame(),
+		Frames:      em.Mem.ExportFrames(),
+		ICache:      ic.ExportState(),
+		DCache:      dc.ExportState(),
+		Pred:        pred.ExportState(),
+	}
+
+	// Order the distinct-page stream oldest-first by most recent use and
+	// cap it to the most recent WarmCap pages.
+	warmCap := cfg.WarmCap
+	if warmCap <= 0 {
+		warmCap = DefaultWarmCap
+	}
+	type kv struct {
+		vpn uint64
+		warmInfo
+	}
+	ordered := make([]kv, 0, len(warm))
+	for vpn, w := range warm {
+		ordered = append(ordered, kv{vpn, w})
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
+	if len(ordered) > warmCap {
+		ordered = ordered[len(ordered)-warmCap:]
+	}
+	c.WarmRefs = make([]WarmRef, len(ordered))
+	for i, o := range ordered {
+		c.WarmRefs[i] = WarmRef{VPN: o.vpn, Write: o.write}
+	}
+	return c, nil
+}
+
+// RestoreEmu reconstructs a functional machine at the checkpoint, bound
+// to p. The timing machine uses it as the lockstep golden reference for
+// the measurement window; tests use it to continue functional execution
+// from the handoff point.
+func (c *Checkpoint) RestoreEmu(p *prog.Program) *emu.Machine {
+	as := vm.NewAddressSpace(c.PageSize)
+	for _, r := range p.Regions {
+		as.AddRegion(r)
+	}
+	as.ImportPages(c.Pages, c.NextFrame)
+	m := &emu.Machine{
+		Prog:        p,
+		AS:          as,
+		Mem:         mem.New(),
+		Regs:        c.Regs,
+		PC:          c.PC,
+		InstCount:   c.InstCount,
+		LoadCount:   c.LoadCount,
+		StoreCount:  c.StoreCount,
+		BranchCount: c.BranchCount,
+		TakenCount:  c.TakenCount,
+	}
+	m.Mem.ImportFrames(c.Frames)
+	return m
+}

@@ -11,6 +11,7 @@ package cpu
 import (
 	"hbat/internal/bpred"
 	"hbat/internal/cache"
+	"hbat/internal/ckpt"
 )
 
 // Config parameterizes a machine. DefaultConfig reproduces Table 1.
@@ -97,6 +98,17 @@ type Config struct {
 	// so the checker holds for every Table 2 device and Config switch.
 	Lockstep bool
 
+	// FastForward enables two-phase simulation: the first FastForward
+	// instructions execute on the fast functional emulator (warming the
+	// TLB/cache/branch-predictor state without timing) and only the
+	// remainder is measured cycle-accurately. MaxInsts still counts
+	// committed instructions of the measurement window only. When
+	// Checkpoint is nil the warm-up runs inline; supplying a pre-built
+	// (possibly disk-cached) Checkpoint skips it, which is how a sweep
+	// amortizes one warm-up across all thirteen TLB designs.
+	FastForward uint64
+	Checkpoint  *ckpt.Checkpoint
+
 	// Run limits.
 	MaxInsts  uint64 // committed-instruction budget (0 = until Halt)
 	MaxCycles int64  // safety limit (0 = none)
@@ -146,9 +158,15 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats aggregates a run's results.
+// Stats aggregates a run's results. With Config.FastForward set, every
+// field describes the measurement window only; the skipped prefix is
+// reported separately as FastForwarded.
 type Stats struct {
 	Cycles int64
+
+	// FastForwarded counts instructions executed by the functional
+	// warm-up phase (zero without Config.FastForward).
+	FastForwarded uint64
 
 	// Committed (non-speculative) operation counts.
 	Committed         uint64

@@ -1,0 +1,107 @@
+package cpu
+
+import (
+	"context"
+	"fmt"
+
+	"hbat/internal/ckpt"
+	"hbat/internal/tlb"
+)
+
+// ctx0 substitutes Background for the nil context SetCancel leaves
+// behind when cancellation is disabled.
+func ctx0(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// maybeFastForward runs (or restores) the two-phase simulation's
+// functional warm-up. Called once at the top of Run: with
+// Config.FastForward set, the machine's architectural and warmed
+// microarchitectural state is replaced by the checkpoint's before the
+// first cycle is simulated. With Config.Checkpoint nil the warm-up runs
+// inline on the functional emulator, honoring SetCancel's context at the
+// same 4096-step granularity as the cycle loop.
+func (m *Machine) maybeFastForward() error {
+	if m.cfg.FastForward == 0 || m.stats.FastForwarded != 0 {
+		return nil
+	}
+	c := m.cfg.Checkpoint
+	if c == nil {
+		ctx := m.cancelCtx
+		built, err := ckpt.Build(ctx0(ctx), m.prog, ckpt.BuildConfig{
+			PageSize:    m.cfg.PageSize,
+			FastForward: m.cfg.FastForward,
+			ICache:      m.cfg.ICache,
+			DCache:      m.cfg.DCache,
+			Branch:      m.cfg.Branch,
+		})
+		if err != nil {
+			return err
+		}
+		c = built
+	}
+	return m.restoreCheckpoint(c)
+}
+
+// restoreCheckpoint injects a warmed checkpoint into the machine. The
+// address space is mutated in place — the TLB device captured its
+// pointer at construction — while physical memory, which nothing
+// aliases, is replaced wholesale (the loader-written frames must not
+// survive: the checkpoint's zero-frame omission assumes a fresh store).
+func (m *Machine) restoreCheckpoint(c *ckpt.Checkpoint) error {
+	if c.PageSize != m.cfg.PageSize {
+		return fmt.Errorf("cpu: checkpoint page size %d does not match config %d", c.PageSize, m.cfg.PageSize)
+	}
+	if c.FastForward != m.cfg.FastForward {
+		return fmt.Errorf("cpu: checkpoint fast-forward %d does not match config %d", c.FastForward, m.cfg.FastForward)
+	}
+
+	// Architectural state.
+	m.regs = c.Regs
+	m.fetchPC = c.PC
+	m.AS.ImportPages(c.Pages, c.NextFrame)
+	m.Mem.ImportFrames(c.Frames)
+
+	// Warmed microarchitectural state. The instruction cache always
+	// imports; the data cache's checkpointed image is physically indexed,
+	// so a virtually-indexed configuration starts it cold instead.
+	if err := m.icache.ImportState(c.ICache); err != nil {
+		return fmt.Errorf("cpu: restoring icache: %w", err)
+	}
+	if !m.cfg.VirtualCache {
+		if err := m.dcache.ImportState(c.DCache); err != nil {
+			return fmt.Errorf("cpu: restoring dcache: %w", err)
+		}
+	}
+	if err := m.pred.ImportState(c.Pred); err != nil {
+		return fmt.Errorf("cpu: restoring predictor: %w", err)
+	}
+
+	// TLB warm-up: replay the distinct-page reference stream oldest
+	// first with negative recency stamps, resolving each VPN against the
+	// freshly imported page table. Designs that cannot warm (none of the
+	// Table 2 set) simply start cold. The micro-ITLB is left cold: its
+	// four entries warm within a handful of fetches.
+	if w, ok := m.DTLB.(tlb.Warmer); ok {
+		refs := c.WarmRefs
+		for i, ref := range refs {
+			pte, ok := m.AS.Lookup(ref.VPN)
+			if !ok {
+				return fmt.Errorf("cpu: warm ref vpn 0x%x not in checkpointed page table", ref.VPN)
+			}
+			w.Warm(ref.VPN, pte, int64(i)-int64(len(refs)))
+		}
+	}
+
+	// The lockstep golden reference must start at the handoff point, not
+	// at program entry.
+	if m.lockstep != nil {
+		m.lockstep.ref = c.RestoreEmu(m.prog)
+	}
+
+	m.stats.FastForwarded = c.FastForward
+	return nil
+}

@@ -1,0 +1,240 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"hbat/internal/ckpt"
+	"hbat/internal/emu"
+	"hbat/internal/isa"
+	"hbat/internal/prog"
+	"hbat/internal/workload"
+)
+
+// ffwdDesigns spans all four device families: multiported,
+// multi-level, interleaved, and pretranslation.
+var ffwdDesigns = []string{"T4", "M8", "I4", "P8"}
+
+// Stated tolerances of the two-phase mode: warmed state approximates
+// (never replays) the skipped prefix's exact microarchitectural history,
+// so the measurement window's timing may drift within these bounds while
+// architectural state stays bit-identical.
+const (
+	ffwdIPCTol  = 0.05  // relative, window IPC
+	ffwdMissTol = 0.005 // absolute, window TLB miss rate
+)
+
+// functionalLength runs the workload on the emulator and returns its
+// total instruction count.
+func functionalLength(t *testing.T, p *prog.Program) uint64 {
+	t.Helper()
+	em, err := emu.New(p, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := em.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return em.InstCount
+}
+
+// TestFastForwardDifferential is the two-phase mode's correctness table:
+// for every workload and a design from each device family, a full
+// cycle-accurate run and a fast-forward+measure run of the same
+// measurement window must produce bit-identical architectural state
+// (registers, data image, retirement counts — the fast-forward runs
+// carry the lockstep checker from the handoff point, so every measured
+// commit is additionally verified against the restored golden emulator)
+// and window IPC / TLB miss rate within the stated tolerances.
+func TestFastForwardDifferential(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			p, err := w.Build(prog.Budget32, workload.ScaleTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := functionalLength(t, p)
+			n := total / 2
+			if n == 0 {
+				t.Fatalf("workload too short to split: %d insts", total)
+			}
+
+			for _, design := range ffwdDesigns {
+				// Full cycle-accurate run, program entry to halt.
+				fullCfg := DefaultConfig()
+				fullCfg.Lockstep = true
+				full, err := NewWithDesign(p, fullCfg, design)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := full.Run(); err != nil {
+					t.Fatalf("%s full run: %v", design, err)
+				}
+				if !full.Halted() {
+					t.Fatalf("%s full run did not halt", design)
+				}
+
+				// Prefix run: the same machine configuration stopped at
+				// the fast-forward point, to difference the full run's
+				// stats down to the measurement window.
+				prefixCfg := DefaultConfig()
+				prefixCfg.MaxInsts = n
+				prefix, err := NewWithDesign(p, prefixCfg, design)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := prefix.Run(); err != nil {
+					t.Fatalf("%s prefix run: %v", design, err)
+				}
+
+				// Two-phase run: functional fast-forward over the prefix,
+				// cycle-accurate measurement to halt, lockstep-checked
+				// against the restored golden reference.
+				ffwdCfg := DefaultConfig()
+				ffwdCfg.FastForward = n
+				ffwdCfg.Lockstep = true
+				ffwd, err := NewWithDesign(p, ffwdCfg, design)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ffwd.Run(); err != nil {
+					t.Fatalf("%s fast-forward run: %v", design, err)
+				}
+				if !ffwd.Halted() {
+					t.Fatalf("%s fast-forward run did not halt", design)
+				}
+				if got := ffwd.Stats().FastForwarded; got != n {
+					t.Fatalf("%s: FastForwarded = %d, want %d", design, got, n)
+				}
+
+				// Architectural state: bit-identical.
+				if got, want := ffwd.Stats().FastForwarded+ffwd.Stats().Committed, full.Stats().Committed; got != want {
+					t.Errorf("%s: fast-forwarded %d + committed %d = %d insts, full run committed %d",
+						design, ffwd.Stats().FastForwarded, ffwd.Stats().Committed, got, want)
+				}
+				for r := 0; r < isa.NumRegs; r++ {
+					if got, want := ffwd.Reg(isa.Reg(r)), full.Reg(isa.Reg(r)); got != want {
+						t.Errorf("%s: final %s = 0x%x, full run has 0x%x", design, isa.Reg(r), got, want)
+						break
+					}
+				}
+				if got, want := dataDigest(t, ffwd, p), dataDigest(t, full, p); got != want {
+					t.Errorf("%s: final data-region digest %#x differs from full run's %#x", design, got, want)
+				}
+
+				// Timing: the fast-forward run's measurement window vs
+				// the same window of the full run (full minus prefix).
+				winCommitted := full.Stats().Committed - prefix.Stats().Committed
+				winCycles := full.Stats().Cycles - prefix.Stats().Cycles
+				if winCycles <= 0 {
+					t.Fatalf("%s: empty measurement window in full run", design)
+				}
+				wantIPC := float64(winCommitted) / float64(winCycles)
+				gotIPC := ffwd.Stats().IPC()
+				if rel := math.Abs(gotIPC-wantIPC) / wantIPC; rel > ffwdIPCTol {
+					t.Errorf("%s: window IPC %.4f vs full run's %.4f (rel err %.3f > %.2f)",
+						design, gotIPC, wantIPC, rel, ffwdIPCTol)
+				}
+
+				fullTLB, prefTLB := full.DTLB.Stats(), prefix.DTLB.Stats()
+				winLookups := fullTLB.Lookups - prefTLB.Lookups
+				wantMiss := 0.0
+				if winLookups > 0 {
+					wantMiss = float64(fullTLB.Misses-prefTLB.Misses) / float64(winLookups)
+				}
+				gotMiss := ffwd.DTLB.Stats().MissRate()
+				if diff := math.Abs(gotMiss - wantMiss); diff > ffwdMissTol {
+					t.Errorf("%s: window TLB miss rate %.4f vs full run's %.4f (abs err %.4f > %.3f)",
+						design, gotMiss, wantMiss, diff, ffwdMissTol)
+				}
+			}
+		})
+	}
+}
+
+// TestFastForwardShortProgram: fast-forwarding past the program's end
+// must fail with the typed error, not measure an empty window.
+func TestFastForwardShortProgram(t *testing.T) {
+	p, err := workload.All()[0].Build(prog.Budget32, workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := functionalLength(t, p)
+	cfg := DefaultConfig()
+	cfg.FastForward = total + 1
+	m, err := NewWithDesign(p, cfg, "T4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); !errors.Is(err, ckpt.ErrShortProgram) {
+		t.Fatalf("Run = %v, want ErrShortProgram", err)
+	}
+}
+
+// spinProgram builds a program that never halts: the functional phase
+// can only end via cancellation.
+func spinProgram(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("spin")
+	x := b.IVar("x")
+	b.Move(x, isa.Zero)
+	b.Label("loop")
+	b.Addi(x, x, 1)
+	b.J("loop")
+	b.Halt()
+	p, err := b.Finalize(prog.Budget32)
+	if err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return p
+}
+
+// TestFastForwardCancellation mirrors the sweep engine's in-flight
+// cancellation test: SetCancel's context must interrupt the functional
+// fast-forward phase — not just the cycle loop — promptly.
+func TestFastForwardCancellation(t *testing.T) {
+	p := spinProgram(t)
+	cfg := DefaultConfig()
+	cfg.FastForward = 1 << 40
+	m, err := NewWithDesign(p, cfg, "T4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m.SetCancel(ctx)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err = m.Run()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt interruption of the warm-up", el)
+	}
+}
+
+// TestFastForwardAlreadyCancelled: a context cancelled before Run must
+// stop the warm-up at its first poll.
+func TestFastForwardAlreadyCancelled(t *testing.T) {
+	p := spinProgram(t)
+	cfg := DefaultConfig()
+	cfg.FastForward = 1 << 40
+	m, err := NewWithDesign(p, cfg, "T4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m.SetCancel(ctx)
+	if err := m.Run(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+}

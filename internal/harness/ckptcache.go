@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hbat/internal/ckpt"
+	"hbat/internal/cpu"
+	"hbat/internal/prog"
+	"hbat/internal/workload"
+)
+
+// ckptKey identifies one warmed checkpoint. It deliberately excludes
+// the design: checkpoints carry a design-independent warm-reference
+// list (see internal/ckpt), so the same functional warm-up serves all
+// thirteen TLB designs, the in-order variant, and the virtual-cache
+// variant of a grid.
+type ckptKey struct {
+	workload string
+	budget   prog.RegBudget
+	scale    workload.Scale
+	pageSize uint64
+	ffwd     uint64
+}
+
+// ckptEntry is one cached (or in-flight) checkpoint build; done closes
+// when c/err are valid. A cancelled build removes its entry so a later
+// caller retries, mirroring memoEntry.
+type ckptEntry struct {
+	done chan struct{}
+	c    *ckpt.Checkpoint
+	err  error
+}
+
+// file returns the key's on-disk path under dir: a fingerprint of the
+// key fields, so concurrent processes sharing a CkptDir agree on names.
+func (k ckptKey) file(dir string) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", k)))
+	return filepath.Join(dir, "hbat-"+hex.EncodeToString(sum[:8])+".ckpt")
+}
+
+// checkpoint returns the warmed checkpoint for spec, building it at
+// most once per key (singleflight) and persisting it under CkptDir
+// when one is configured.
+func (e *Engine) checkpoint(ctx context.Context, spec RunSpec, p *prog.Program, cfg cpu.Config) (*ckpt.Checkpoint, error) {
+	key := ckptKey{
+		workload: spec.Workload,
+		budget:   spec.Budget,
+		scale:    spec.Scale,
+		pageSize: spec.PageSize,
+		ffwd:     spec.FastForward,
+	}
+	for {
+		e.mu.Lock()
+		ent := e.ckpts[key]
+		if ent == nil {
+			ent = &ckptEntry{done: make(chan struct{})}
+			e.ckpts[key] = ent
+			e.mu.Unlock()
+			c, fromDisk, err := e.loadOrBuildCheckpoint(ctx, key, p, cfg)
+			if err != nil && isCancelErr(err) {
+				// Like a cancelled run: drop the entry so a later
+				// caller rebuilds, and wake waiters to retry.
+				e.mu.Lock()
+				delete(e.ckpts, key)
+				e.mu.Unlock()
+				ent.err = err
+				close(ent.done)
+				return nil, err
+			}
+			if fromDisk {
+				e.ckptHits.Add(1)
+			} else {
+				e.ckptMisses.Add(1)
+			}
+			ent.c, ent.err = c, err
+			close(ent.done)
+			return c, err
+		}
+		e.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ent.done:
+		}
+		if isCancelErr(ent.err) {
+			continue // the producer was cancelled, not us: retry
+		}
+		e.ckptHits.Add(1)
+		return ent.c, ent.err
+	}
+}
+
+// loadOrBuildCheckpoint resolves one checkpoint: from CkptDir when a
+// valid file exists (fromDisk=true), otherwise by running the
+// functional warm-up (and persisting the result, best-effort). A
+// corrupt, truncated, or mismatched file is rebuilt and overwritten —
+// the checksum inside the codec makes the load failure explicit rather
+// than silent.
+func (e *Engine) loadOrBuildCheckpoint(ctx context.Context, key ckptKey, p *prog.Program, cfg cpu.Config) (c *ckpt.Checkpoint, fromDisk bool, err error) {
+	path := ""
+	if e.CkptDir != "" {
+		path = key.file(e.CkptDir)
+		if c, err := ckpt.LoadFile(path); err == nil &&
+			c.PageSize == key.pageSize && c.FastForward == key.ffwd {
+			return c, true, nil
+		}
+	}
+	c, err = ckpt.Build(ctx, p, ckpt.BuildConfig{
+		PageSize:    key.pageSize,
+		FastForward: key.ffwd,
+		ICache:      cfg.ICache,
+		DCache:      cfg.DCache,
+		Branch:      cfg.Branch,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if path != "" {
+		if mkerr := os.MkdirAll(e.CkptDir, 0o755); mkerr == nil {
+			if werr := c.SaveFile(path); werr != nil && e.Logger != nil {
+				e.Logger.Warn("checkpoint persist failed", "path", path, "error", werr.Error())
+			}
+		}
+	}
+	return c, false, nil
+}

@@ -31,6 +31,15 @@ type RunSpec struct {
 	Seed     uint64
 	MaxInsts uint64 // optional commit cap (0 = run to Halt)
 
+	// FastForward, when positive, executes the first N instructions on
+	// the functional emulator (warming TLB, cache, and predictor state)
+	// and measures only the remainder cycle-accurately — the two-phase
+	// methodology (cpu.Config.FastForward). An Engine builds one warmed
+	// checkpoint per (workload, budget, scale, page size, N) and shares
+	// it across every design in a grid; N must be smaller than the
+	// workload's functional instruction count.
+	FastForward uint64
+
 	// Extensions beyond the paper's grid.
 	VirtualCache       bool
 	ContextSwitchEvery uint64
@@ -107,6 +116,10 @@ type Options struct {
 	Scale       workload.Scale
 	Parallelism int
 	Seed        uint64
+	// FastForward applies RunSpec.FastForward to every timing run of
+	// the experiment grids (Figure 6 is purely functional and ignores
+	// it). Zero keeps the paper's run-from-reset methodology.
+	FastForward uint64
 	// Workloads restricts the benchmark set (nil = all ten).
 	Workloads []string
 	// Designs restricts the design set (nil = Table 2's thirteen).

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+
+	"hbat/internal/cpu"
+	"hbat/internal/tlb"
+)
+
+// journalRec is one completed run in the resume journal: the spec's
+// memoization fingerprint plus the result fields every renderer
+// consumes (cpu and TLB statistics). Per-run metrics snapshots, traces,
+// and interval series are deliberately not journaled — they are
+// per-run payloads the sweep renderers never read, and the specs that
+// carry them are not cacheable in the first place.
+type journalRec struct {
+	SpecHash string    `json:"spec_hash"`
+	Spec     string    `json:"spec"`
+	Stats    cpu.Stats `json:"stats"`
+	TLB      tlb.Stats `json:"tlb"`
+}
+
+// journal is the engine's crash-safe resume log: JSON lines, one per
+// completed cacheable run, fsynced as written. Loading tolerates a torn
+// final line (a crash mid-append) by truncating back to the last intact
+// record. All methods are nil-receiver safe so the engine can call them
+// unconditionally.
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	seen map[string]journalRec
+}
+
+// SetJournal attaches a resume journal at path, creating it when
+// absent. Existing records are loaded and served as memo hits, so a
+// sweep interrupted mid-run resumes from where it stopped and — because
+// simulations are deterministic — renders byte-identical artifacts.
+// Returns the number of completed runs resumed. Set before first use,
+// like the engine's other configuration fields.
+func (e *Engine) SetJournal(path string) (int, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	seen := make(map[string]journalRec)
+	var good int64
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn final line: drop it
+		}
+		var rec journalRec
+		if json.Unmarshal(data[:nl], &rec) != nil || rec.SpecHash == "" {
+			break // corrupt tail: keep only the intact prefix
+		}
+		seen[rec.SpecHash] = rec
+		good += int64(nl) + 1
+		data = data[nl+1:]
+	}
+	// Truncate away any torn tail so appends extend a valid record
+	// stream rather than gluing onto a partial line.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return 0, err
+	}
+	e.journal = &journal{f: f, seen: seen}
+	return len(seen), nil
+}
+
+// lookup returns the journaled result for spec, if one exists.
+func (j *journal) lookup(spec RunSpec) (RunResult, bool) {
+	if j == nil {
+		return RunResult{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.seen[spec.Hash()]
+	if !ok {
+		return RunResult{}, false
+	}
+	return RunResult{Spec: spec, Stats: rec.Stats, TLB: rec.TLB}, true
+}
+
+// append journals one successfully executed run, fsyncing so the record
+// survives a crash immediately after.
+func (j *journal) append(spec RunSpec, res *RunResult) {
+	if j == nil || res.Err != nil {
+		return
+	}
+	rec := journalRec{
+		SpecHash: spec.Hash(),
+		Spec:     spec.String(),
+		Stats:    res.Stats,
+		TLB:      res.TLB,
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, dup := j.seen[rec.SpecHash]; dup {
+		return
+	}
+	j.seen[rec.SpecHash] = rec
+	if _, err := j.f.Write(append(line, '\n')); err == nil {
+		j.f.Sync()
+	}
+}

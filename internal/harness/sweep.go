@@ -52,6 +52,14 @@ type Engine struct {
 	NoBuildCache bool
 	NoMemo       bool
 
+	// CkptDir, when non-empty, persists fast-forward checkpoints to
+	// disk (one file per (workload, budget, scale, page size, N),
+	// named by the key's fingerprint). A later process with the same
+	// CkptDir skips the functional warm-up entirely. Corrupt or
+	// mismatched files are rebuilt and overwritten, never trusted.
+	// Set before first use.
+	CkptDir string
+
 	// Logger, when non-nil, receives structured run-scoped events: one
 	// debug record when a simulation starts and one info record when it
 	// finishes (or is served from cache), carrying run_id, workload,
@@ -69,6 +77,14 @@ type Engine struct {
 
 	mu   sync.Mutex
 	memo map[specKey]*memoEntry
+	// ckpts deduplicates in-flight checkpoint builds the same way memo
+	// deduplicates simulations: one functional warm-up per (workload,
+	// budget, scale, page size, N) serves all thirteen designs.
+	ckpts map[ckptKey]*ckptEntry
+	// journal, when non-nil, is the crash-safe resume log (SetJournal):
+	// completed results keyed by spec fingerprint, consulted before
+	// executing and appended to after.
+	journal *journal
 	// ewma holds learned wall-time estimates in seconds, keyed by the
 	// spec features that dominate run length.
 	ewma map[costKey]float64
@@ -91,6 +107,8 @@ type Engine struct {
 
 	specHits   atomic.Uint64
 	specMisses atomic.Uint64
+	ckptHits   atomic.Uint64
+	ckptMisses atomic.Uint64
 	executed   atomic.Uint64
 	runSeq     atomic.Uint64
 
@@ -105,6 +123,7 @@ func NewEngine() *Engine {
 	return &Engine{
 		builds:  workload.NewBuildCache(),
 		memo:    make(map[specKey]*memoEntry),
+		ckpts:   make(map[ckptKey]*ckptEntry),
 		ewma:    make(map[costKey]float64),
 		agg:     stats.NewRegistry(),
 		wallReg: stats.NewRegistry(),
@@ -154,6 +173,7 @@ type specKey struct {
 	virtualCache bool
 	ctxSwitch    uint64
 	lockstep     bool
+	fastForward  uint64
 }
 
 func (s RunSpec) key() specKey {
@@ -169,6 +189,7 @@ func (s RunSpec) key() specKey {
 		virtualCache: s.VirtualCache,
 		ctxSwitch:    s.ContextSwitchEvery,
 		lockstep:     s.Lockstep,
+		fastForward:  s.FastForward,
 	}
 }
 
@@ -248,6 +269,10 @@ type CacheStats struct {
 	// SpecHits/SpecMisses count simulation requests served from the
 	// RunSpec memo vs. actually simulated.
 	SpecHits, SpecMisses uint64
+	// CkptHits/CkptMisses count fast-forward checkpoint requests served
+	// from the checkpoint cache (in-memory or CkptDir) vs. built by
+	// running the functional warm-up.
+	CkptHits, CkptMisses uint64
 }
 
 // CacheStats returns the engine's cache counters.
@@ -256,6 +281,7 @@ func (e *Engine) CacheStats() CacheStats {
 	return CacheStats{
 		BuildHits: bh, BuildMisses: bm,
 		SpecHits: e.specHits.Load(), SpecMisses: e.specMisses.Load(),
+		CkptHits: e.ckptHits.Load(), CkptMisses: e.ckptMisses.Load(),
 	}
 }
 
@@ -268,6 +294,8 @@ func (e *Engine) MetricsSnapshot() stats.Snapshot {
 	reg.Counter("sweep.build_cache_misses").Set(cs.BuildMisses)
 	reg.Counter("sweep.spec_cache_hits").Set(cs.SpecHits)
 	reg.Counter("sweep.spec_cache_misses").Set(cs.SpecMisses)
+	reg.Counter("sweep.ckpt_cache_hits").Set(cs.CkptHits)
+	reg.Counter("sweep.ckpt_cache_misses").Set(cs.CkptMisses)
 	reg.Counter("sweep.runs_executed").Set(e.executed.Load())
 	return reg.Snapshot()
 }
@@ -407,6 +435,32 @@ func (e *Engine) buildProgram(spec RunSpec) (*prog.Program, error) {
 	return e.builds.Build(spec.Workload, spec.Budget, spec.Scale)
 }
 
+// PrewarmBuilds builds every unique program named by specs into the
+// engine's build cache, so a timed pass over the same specs measures
+// simulation alone rather than program generation.
+func (e *Engine) PrewarmBuilds(ctx context.Context, specs []RunSpec) error {
+	type buildKey struct {
+		workload string
+		budget   prog.RegBudget
+		scale    workload.Scale
+	}
+	seen := make(map[buildKey]bool)
+	for _, s := range specs {
+		k := buildKey{s.Workload, s.Budget, s.Scale}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := e.buildProgram(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Run executes one simulation, serving it from the memo cache when an
 // identical spec already ran. A cancelled ctx returns promptly with
 // RunResult.Err set to ctx.Err().
@@ -424,6 +478,16 @@ func (e *Engine) Run(ctx context.Context, spec RunSpec) RunResult {
 		e.mu.Lock()
 		ent := e.memo[key]
 		if ent == nil {
+			// A resume journal from an interrupted sweep satisfies the
+			// spec without re-simulating: install the journaled result
+			// as a pre-completed memo entry and serve it as a hit.
+			if res, ok := e.journal.lookup(spec); ok {
+				je := &memoEntry{done: make(chan struct{}), res: res}
+				close(je.done)
+				e.memo[key] = je
+				e.mu.Unlock()
+				continue
+			}
 			ent = &memoEntry{done: make(chan struct{})}
 			e.memo[key] = ent
 			e.mu.Unlock()
@@ -440,6 +504,7 @@ func (e *Engine) Run(ctx context.Context, spec RunSpec) RunResult {
 				return res
 			}
 			e.specMisses.Add(1)
+			e.journal.append(spec, &res)
 			ent.res = res
 			close(ent.done)
 			return res
@@ -508,6 +573,22 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec) RunResult {
 	cfg.Lockstep = spec.Lockstep
 	if spec.Seed != 0 {
 		cfg.Seed = spec.Seed
+	}
+	if spec.FastForward > 0 {
+		// One warmed checkpoint per (workload, budget, scale, page
+		// size, N) serves every design in the grid; the machine then
+		// restores it instead of re-running the functional phase.
+		c, cerr := e.checkpoint(ctx, spec, p, cfg)
+		if cerr != nil {
+			if isCancelErr(cerr) {
+				res.Err = cerr
+			} else {
+				res.Err = fmt.Errorf("%s: checkpoint: %w", spec, cerr)
+			}
+			return res
+		}
+		cfg.FastForward = spec.FastForward
+		cfg.Checkpoint = c
 	}
 	m, err := cpu.NewWithDesign(p, cfg, spec.Design)
 	if err != nil {

@@ -4,7 +4,10 @@
 // ~40 MB) cost only what they actually touch.
 package mem
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sort"
+)
 
 // FrameBits is the log2 of the physical frame size used for backing
 // storage. This is an implementation detail of the sparse store and is
@@ -51,6 +54,38 @@ func (m *Memory) peekFrame(addr uint64) *frame {
 
 // FramesTouched reports how many backing frames have been allocated.
 func (m *Memory) FramesTouched() int { return len(m.frames) }
+
+// FrameImage is one backing frame's contents keyed by its frame index
+// (physical address >> FrameBits).
+type FrameImage struct {
+	Index uint64
+	Data  [FrameSize]byte
+}
+
+// ExportFrames returns the contents of every non-zero backing frame,
+// sorted by frame index. All-zero frames are omitted: an untouched frame
+// and an allocated-but-zero frame read identically, so the omission is
+// invisible to any Read and keeps checkpoints compact and deterministic.
+func (m *Memory) ExportFrames() []FrameImage {
+	out := make([]FrameImage, 0, len(m.frames))
+	for idx, f := range m.frames {
+		if *f == (frame{}) {
+			continue
+		}
+		out = append(out, FrameImage{Index: idx, Data: *f})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// ImportFrames replaces the memory's contents with the given frames.
+func (m *Memory) ImportFrames(frames []FrameImage) {
+	m.frames = make(map[uint64]*frame, len(frames))
+	for i := range frames {
+		f := frame(frames[i].Data)
+		m.frames[frames[i].Index] = &f
+	}
+}
 
 // ByteAt returns the byte at addr (0 for untouched memory).
 func (m *Memory) ByteAt(addr uint64) byte {

@@ -157,6 +157,12 @@ func (t *Interleaved) FlushAll() {
 	t.stats.Flushes++
 }
 
+// Warm implements Warmer: installs the translation into its selected
+// bank like a Fill without touching the statistics.
+func (t *Interleaved) Warm(vpn uint64, pte *vm.PTE, now int64) {
+	t.banks[t.sel(vpn)].Insert(vpn, pte, now)
+}
+
 // Stats implements Device.
 func (t *Interleaved) Stats() *Stats { return &t.stats }
 

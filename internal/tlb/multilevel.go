@@ -134,6 +134,15 @@ func (t *Multilevel) FlushAll() {
 	t.stats.Flushes++
 }
 
+// Warm implements Warmer: loads both levels like a Fill (preserving
+// inclusion) without touching the statistics.
+func (t *Multilevel) Warm(vpn uint64, pte *vm.PTE, now int64) {
+	if evictedVPN, evicted := t.l2.Insert(vpn, pte, now); evicted {
+		t.l1.Invalidate(evictedVPN)
+	}
+	t.l1.Insert(vpn, pte, now)
+}
+
 // Stats implements Device.
 func (t *Multilevel) Stats() *Stats { return &t.stats }
 

@@ -140,6 +140,12 @@ func (t *Multiported) FlushAll() {
 	t.stats.Flushes++
 }
 
+// Warm implements Warmer: installs the translation like a Fill without
+// touching the statistics.
+func (t *Multiported) Warm(vpn uint64, pte *vm.PTE, now int64) {
+	t.bank.Insert(vpn, pte, now)
+}
+
 // Stats implements Device.
 func (t *Multiported) Stats() *Stats { return &t.stats }
 

@@ -200,6 +200,20 @@ func (t *Pretranslation) FlushAll() {
 	t.base.Flush()
 }
 
+// Warm implements Warmer: installs the translation into the base TLB
+// like a Fill without touching the statistics. The coherence rule still
+// applies — a base-TLB eviction empties the pretranslation cache — but
+// the quiet flush is uncounted. Pretranslations themselves are not
+// warmed: they bind to register *values*, which the warm-up replay does
+// not carry.
+func (t *Pretranslation) Warm(vpn uint64, pte *vm.PTE, now int64) {
+	if _, evicted := t.base.Insert(vpn, pte, now); evicted {
+		for i := range t.cache {
+			t.cache[i] = preEntry{}
+		}
+	}
+}
+
 // Stats implements Device.
 func (t *Pretranslation) Stats() *Stats { return &t.stats }
 

@@ -137,6 +137,17 @@ type Device interface {
 	Stats() *Stats
 }
 
+// Warmer is implemented by designs that support functional warm-up: Warm
+// installs the translation for vpn into the device's caching structures
+// exactly as a Fill would, but records no statistics, claims no port, and
+// charges no latency. The two-phase fast-forward mode replays the
+// functional phase's distinct-page reference stream through Warm (oldest
+// first, with negative recency stamps) so the measurement window starts
+// with a realistically populated TLB and zeroed counters.
+type Warmer interface {
+	Warm(vpn uint64, pte *vm.PTE, now int64)
+}
+
 // RegisterTracker is implemented by designs that attach translations to
 // register values (pretranslation). The core calls these hooks at
 // commit so squashed wrong-path instructions never perturb the cache.

@@ -8,6 +8,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Perm is a page-protection bit set.
@@ -211,4 +212,35 @@ func (as *AddressSpace) ClearStatus() {
 		pte.Ref = false
 		pte.Dirty = false
 	}
+}
+
+// NextFrame returns the next physical frame number the allocator would
+// hand out. Checkpoints record it so allocation resumes deterministically.
+func (as *AddressSpace) NextFrame() uint64 { return as.nextFrame }
+
+// ExportPages returns a copy of every mapped PTE sorted by VPN, so the
+// result is deterministic for serialization.
+func (as *AddressSpace) ExportPages() []PTE {
+	out := make([]PTE, 0, len(as.pages))
+	for _, pte := range as.pages {
+		out = append(out, *pte)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].VPN < out[j].VPN })
+	return out
+}
+
+// ImportPages replaces the page table with copies of ptes and resets the
+// frame allocator to nextFrame. The AddressSpace value itself is mutated
+// in place: TLB devices hold a pointer to it, so the restored table must
+// appear behind the same pointer they captured at construction. Fault and
+// walk counters are zeroed — the measurement window starts fresh.
+func (as *AddressSpace) ImportPages(ptes []PTE, nextFrame uint64) {
+	as.pages = make(map[uint64]*PTE, len(ptes))
+	for i := range ptes {
+		p := ptes[i]
+		as.pages[p.VPN] = &p
+	}
+	as.nextFrame = nextFrame
+	as.Faults = 0
+	as.WalkCount = 0
 }
