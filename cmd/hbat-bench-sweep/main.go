@@ -12,6 +12,13 @@
 // and their ratio are written as JSON (BENCH_ffwd.json by default;
 // -ffwd=false skips the pass).
 //
+// Finally it benchmarks the functional warm-up engines against each
+// other: every workload's checkpoint is built by the reference
+// interpreter and by the superblock-translated engine, and the per-pass
+// wall times, instruction rates, and translated/interpreted speedup are
+// written as JSON (BENCH_emu.json by default; -emu=false skips the
+// pass).
+//
 // Usage:
 //
 //	hbat-bench-sweep                 # test scale, writes BENCH_sweep.json + BENCH_ffwd.json
@@ -30,7 +37,11 @@ import (
 	"time"
 
 	"hbat"
+	"hbat/internal/bpred"
+	"hbat/internal/cache"
+	"hbat/internal/ckpt"
 	"hbat/internal/emu"
+	"hbat/internal/emu/sblock"
 	"hbat/internal/harness"
 	"hbat/internal/obs"
 	"hbat/internal/prog"
@@ -83,19 +94,25 @@ type ffwdResult struct {
 	CkptMisses uint64 `json:"ckpt_misses"`
 }
 
+// parseScale maps a -scale flag value to a workload.Scale.
+func parseScale(scaleName string) (workload.Scale, error) {
+	switch scaleName {
+	case "test":
+		return workload.ScaleTest, nil
+	case "small":
+		return workload.ScaleSmall, nil
+	case "full":
+		return workload.ScaleFull, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", scaleName)
+}
+
 // benchFFwd times the full design × workload grid from reset and with
 // 90% fast-forward, on fresh engines with prewarmed builds.
 func benchFFwd(ctx context.Context, scaleName string) (*ffwdResult, error) {
-	var scale workload.Scale
-	switch scaleName {
-	case "test":
-		scale = workload.ScaleTest
-	case "small":
-		scale = workload.ScaleSmall
-	case "full":
-		scale = workload.ScaleFull
-	default:
-		return nil, fmt.Errorf("unknown scale %q", scaleName)
+	scale, err := parseScale(scaleName)
+	if err != nil {
+		return nil, err
 	}
 	res := &ffwdResult{
 		Scale:       scaleName,
@@ -176,6 +193,186 @@ func benchFFwd(ctx context.Context, scaleName string) (*ffwdResult, error) {
 	return res, nil
 }
 
+// emuWorkload is one workload's engine comparison: the same
+// FastForward-instruction checkpoint built by both functional engines.
+type emuWorkload struct {
+	Workload     string `json:"workload"`
+	Instructions uint64 `json:"instructions"`
+	// Reps is how many timed builds each engine's measurement averages
+	// over (adaptive: doubled until the measurement is long enough to
+	// trust); the seconds below are per single build.
+	InterpReps    int     `json:"interp_reps"`
+	SblockReps    int     `json:"sblock_reps"`
+	InterpSeconds float64 `json:"interp_seconds"`
+	SblockSeconds float64 `json:"sblock_seconds"`
+	Speedup       float64 `json:"speedup"`
+	// Raw* time the engines alone — execute the same window with no
+	// checkpoint consumer attached — so they compare pure
+	// instructions/sec, without Build's engine-independent costs
+	// (cache warming, page snapshot, checkpoint encode).
+	RawInterpSeconds float64 `json:"raw_interp_seconds"`
+	RawSblockSeconds float64 `json:"raw_sblock_seconds"`
+	RawSpeedup       float64 `json:"raw_speedup"`
+}
+
+// emuResult is the functional-engine benchmark's output
+// (BENCH_emu.json).
+type emuResult struct {
+	Scale     string        `json:"scale"`
+	Workloads []emuWorkload `json:"workloads"`
+	// Totals are one build of every workload's checkpoint; Speedup is
+	// interpreted over translated total wall time — how much faster the
+	// superblock engine fast-forwards the whole suite.
+	TotalInstructions uint64  `json:"total_instructions"`
+	InterpSeconds     float64 `json:"interp_seconds"`
+	SblockSeconds     float64 `json:"sblock_seconds"`
+	InterpInstsPerSec float64 `json:"interp_insts_per_sec"`
+	SblockInstsPerSec float64 `json:"sblock_insts_per_sec"`
+	Speedup           float64 `json:"speedup_sblock_over_interp"`
+	// Raw totals compare the bare engines (no checkpoint consumer):
+	// translated vs interpreted instructions/sec over the whole suite.
+	RawInterpSeconds     float64 `json:"raw_interp_seconds"`
+	RawSblockSeconds     float64 `json:"raw_sblock_seconds"`
+	RawInterpInstsPerSec float64 `json:"raw_interp_insts_per_sec"`
+	RawSblockInstsPerSec float64 `json:"raw_sblock_insts_per_sec"`
+	RawSpeedup           float64 `json:"raw_speedup_sblock_over_interp"`
+}
+
+// benchEmu times both functional engines for every workload over the
+// same 90% fast-forward window benchFFwd uses, two ways: ckpt.Build
+// end to end (what the two-phase methodology actually pays, including
+// the engine-independent warming consumer and checkpoint encode) and
+// the bare engines (pure translated vs interpreted instructions/sec).
+// Both engines produce byte-identical checkpoints — the differential
+// battery in internal/ckpt enforces that — so the comparison is pure
+// throughput.
+func benchEmu(ctx context.Context, scaleName string) (*emuResult, error) {
+	scale, err := parseScale(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	res := &emuResult{Scale: scaleName}
+	for _, name := range workload.Names() {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		p, err := w.Build(prog.Budget32, scale)
+		if err != nil {
+			return nil, err
+		}
+		em, err := emu.New(p, 4096)
+		if err != nil {
+			return nil, err
+		}
+		if err := em.Run(0); err != nil {
+			return nil, err
+		}
+		n := em.InstCount * 9 / 10
+		if n == 0 {
+			continue
+		}
+		build := func(engine string) error {
+			_, err := ckpt.Build(ctx, p, ckpt.BuildConfig{
+				PageSize:    4096,
+				FastForward: n,
+				ICache:      cache.DefaultICache(),
+				DCache:      cache.DefaultDCache(),
+				Branch:      bpred.DefaultConfig(),
+				Engine:      engine,
+			})
+			return err
+		}
+		// raw executes the same window on a bare engine: no cache
+		// warming, no snapshot, no encode — pure instruction delivery.
+		raw := func(translated bool) error {
+			m, err := emu.New(p, 4096)
+			if err != nil {
+				return err
+			}
+			if translated {
+				err = sblock.New(m).Run(n)
+			} else {
+				err = m.Run(n)
+			}
+			// Exhausting the window's budget is the expected terminal;
+			// anything that stopped the engine short is real.
+			if err != nil && m.InstCount < n {
+				return err
+			}
+			return nil
+		}
+		// Per-variant timing: one untimed warm-up pass, then double the
+		// rep count until the timed window is long enough to trust.
+		timeIt := func(run func() error) (reps int, perRun float64, err error) {
+			if err := run(); err != nil {
+				return 0, 0, err
+			}
+			for reps = 1; ; reps *= 2 {
+				start := time.Now()
+				for i := 0; i < reps; i++ {
+					if err := run(); err != nil {
+						return 0, 0, err
+					}
+				}
+				elapsed := time.Since(start)
+				if elapsed >= 100*time.Millisecond || reps >= 256 {
+					return reps, elapsed.Seconds() / float64(reps), nil
+				}
+			}
+		}
+		ir, is, err := timeIt(func() error { return build(ckpt.EngineInterpreted) })
+		if err != nil {
+			return nil, fmt.Errorf("%s/interp: %w", name, err)
+		}
+		sr, ss, err := timeIt(func() error { return build(ckpt.EngineTranslated) })
+		if err != nil {
+			return nil, fmt.Errorf("%s/sblock: %w", name, err)
+		}
+		_, ris, err := timeIt(func() error { return raw(false) })
+		if err != nil {
+			return nil, fmt.Errorf("%s/raw-interp: %w", name, err)
+		}
+		_, rss, err := timeIt(func() error { return raw(true) })
+		if err != nil {
+			return nil, fmt.Errorf("%s/raw-sblock: %w", name, err)
+		}
+		wl := emuWorkload{
+			Workload: name, Instructions: n,
+			InterpReps: ir, SblockReps: sr,
+			InterpSeconds: is, SblockSeconds: ss,
+			RawInterpSeconds: ris, RawSblockSeconds: rss,
+		}
+		if ss > 0 {
+			wl.Speedup = is / ss
+		}
+		if rss > 0 {
+			wl.RawSpeedup = ris / rss
+		}
+		res.Workloads = append(res.Workloads, wl)
+		res.TotalInstructions += n
+		res.InterpSeconds += is
+		res.SblockSeconds += ss
+		res.RawInterpSeconds += ris
+		res.RawSblockSeconds += rss
+	}
+	if res.InterpSeconds > 0 {
+		res.InterpInstsPerSec = float64(res.TotalInstructions) / res.InterpSeconds
+	}
+	if res.SblockSeconds > 0 {
+		res.SblockInstsPerSec = float64(res.TotalInstructions) / res.SblockSeconds
+		res.Speedup = res.InterpSeconds / res.SblockSeconds
+	}
+	if res.RawInterpSeconds > 0 {
+		res.RawInterpInstsPerSec = float64(res.TotalInstructions) / res.RawInterpSeconds
+	}
+	if res.RawSblockSeconds > 0 {
+		res.RawSblockInstsPerSec = float64(res.TotalInstructions) / res.RawSblockSeconds
+		res.RawSpeedup = res.RawInterpSeconds / res.RawSblockSeconds
+	}
+	return res, nil
+}
+
 // pass generates every artifact once and returns the elapsed wall time.
 func pass(ctx context.Context, scale string, noCache bool) (time.Duration, error) {
 	opts := hbat.ExperimentOptions{Scale: scale, NoCache: noCache}
@@ -194,6 +391,8 @@ func main() {
 		out      = flag.String("o", "BENCH_sweep.json", "output JSON path")
 		ffwd     = flag.Bool("ffwd", true, "also benchmark two-phase fast-forward vs full runs")
 		ffwdOut  = flag.String("ffwd-o", "BENCH_ffwd.json", "output JSON path for the fast-forward benchmark")
+		emuBench = flag.Bool("emu", true, "also benchmark the translated vs interpreted functional engines")
+		emuOut   = flag.String("emu-o", "BENCH_emu.json", "output JSON path for the functional-engine benchmark")
 		manifest = flag.String("manifest", "", "write a run-provenance manifest (runs + result SHA-256) to this file")
 	)
 	obsFlags := obs.AddFlags(flag.CommandLine)
@@ -277,12 +476,37 @@ func main() {
 		os.Stdout.Write(ffwdData)
 	}
 
+	var emuData []byte
+	if *emuBench {
+		logger.Info("bench pass", "pass", "emu", "grid", "per-workload ckpt.Build, interpreter vs superblock translation")
+		eres, err := benchEmu(ctx, *scale)
+		if err != nil {
+			fail(err)
+		}
+		emuData, err = json.MarshalIndent(eres, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		emuData = append(emuData, '\n')
+		if err := os.WriteFile(*emuOut, emuData, 0o644); err != nil {
+			fail(err)
+		}
+		logger.Info("emu bench result", "interp_s", eres.InterpSeconds,
+			"sblock_s", eres.SblockSeconds, "speedup", eres.Speedup,
+			"raw_speedup", eres.RawSpeedup,
+			"insts", eres.TotalInstructions, "path", *emuOut)
+		os.Stdout.Write(emuData)
+	}
+
 	if *manifest != "" {
 		m := hbat.NewManifest("hbat-bench-sweep")
 		m.RecordRuns(hbat.SweepEngine())
 		m.AddArtifactBytes("bench.json", *out, data)
 		if ffwdData != nil {
 			m.AddArtifactBytes("bench_ffwd.json", *ffwdOut, ffwdData)
+		}
+		if emuData != nil {
+			m.AddArtifactBytes("bench_emu.json", *emuOut, emuData)
 		}
 		if err := m.WriteFile(*manifest); err != nil {
 			fail(err)

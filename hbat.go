@@ -102,6 +102,12 @@ type Options struct {
 	// methodology. Reported statistics cover the measurement window
 	// only. N must be smaller than the workload's instruction count.
 	FastForward uint64
+	// FFwdEngine selects the functional engine for the fast-forward
+	// warm-up: "" or "sblock" for the superblock-translated engine,
+	// "interp" for the reference interpreter. Both engines produce
+	// byte-identical checkpoints and statistics — the choice affects
+	// warm-up wall time only.
+	FFwdEngine string
 	// Lockstep runs the golden-model differential checker alongside the
 	// pipeline: any divergence of architected state from the functional
 	// emulator is returned as an error instead of skewing statistics.
@@ -219,6 +225,7 @@ func (o Options) spec() (harness.RunSpec, error) {
 		Seed:        o.Seed,
 		MaxInsts:    o.MaxInsts,
 		FastForward: o.FastForward,
+		FFwdEngine:  o.FFwdEngine,
 	}
 	if spec.Workload == "" {
 		spec.Workload = "compress"
@@ -369,6 +376,10 @@ type ExperimentOptions struct {
 	// warmed checkpoint per workload, shared across all designs) and
 	// statistics cover only the remainder. Zero runs from reset.
 	FastForward uint64
+	// FFwdEngine selects the functional engine for the warm-ups
+	// ("" or "sblock" = superblock-translated, "interp" = reference
+	// interpreter); results are byte-identical either way.
+	FFwdEngine string
 	// Workloads/Designs restrict the grid (nil = everything).
 	Workloads []string
 	Designs   []string
@@ -391,6 +402,7 @@ func (o ExperimentOptions) harness() (harness.Options, error) {
 		Parallelism: o.Parallelism,
 		Seed:        o.Seed,
 		FastForward: o.FastForward,
+		FFwdEngine:  o.FFwdEngine,
 		Workloads:   o.Workloads,
 		Designs:     o.Designs,
 		Engine:      defaultEngine,

@@ -1,0 +1,97 @@
+package cancelpoll
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestGranularity pins the polling contract every loop shares: due
+// exactly every Every steps, and Every is a power of two (the due
+// check is a mask).
+func TestGranularity(t *testing.T) {
+	if Every&(Every-1) != 0 || Every == 0 {
+		t.Fatalf("Every = %d must be a power of two", Every)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := New(ctx)
+	due := 0
+	for step := uint64(0); step < 3*Every; step++ {
+		if p.Due(step) {
+			due++
+			if step%Every != 0 {
+				t.Fatalf("due at step %d, want multiples of %d only", step, Every)
+			}
+		}
+	}
+	if due != 3 {
+		t.Fatalf("due %d times over 3*Every steps, want 3", due)
+	}
+}
+
+func TestDisabledPoller(t *testing.T) {
+	for name, p := range map[string]Poller{
+		"zero":       {},
+		"nil ctx":    New(nil),
+		"background": New(context.Background()),
+	} {
+		if p.Enabled() {
+			t.Errorf("%s: Enabled() = true, want false", name)
+		}
+		if p.Due(0) || p.Due(Every) {
+			t.Errorf("%s: disabled poller reported due", name)
+		}
+		if err := p.Err(); err != nil {
+			t.Errorf("%s: disabled poller returned %v", name, err)
+		}
+	}
+}
+
+// TestTripped pins the cheap-poll contract: a pre-cancelled context is
+// observed synchronously at New, a live one stays untripped until
+// cancel, and the trip arrives shortly after (AfterFunc latency).
+func TestTripped(t *testing.T) {
+	if (Poller{}).Tripped() || New(context.Background()).Tripped() {
+		t.Fatal("disabled poller reported tripped")
+	}
+
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if !New(pre).Tripped() {
+		t.Fatal("poller on pre-cancelled context not tripped at New")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	p := New(ctx)
+	if p.Tripped() {
+		t.Fatal("tripped before cancel")
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for !p.Tripped() {
+		if time.Now().After(deadline) {
+			t.Fatal("not tripped within 5s of cancel")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() after trip = %v, want context.Canceled", err)
+	}
+}
+
+func TestErrObservesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := New(ctx)
+	if !p.Enabled() {
+		t.Fatal("poller with cancellable context not enabled")
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("Err() before cancel = %v, want nil", err)
+	}
+	cancel()
+	if err := p.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() after cancel = %v, want context.Canceled", err)
+	}
+}

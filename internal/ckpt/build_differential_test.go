@@ -1,0 +1,150 @@
+package ckpt
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"hbat/internal/prog"
+	"hbat/internal/workload"
+)
+
+// TestBuildEnginesByteIdentical is the headline differential battery
+// for the superblock-translated functional engine: over every workload
+// in the registry, at representative fast-forward budgets, the
+// translated and interpreted engines must produce byte-identical
+// checkpoints — same architectural state, same page table and frame
+// images, same warmed tag arrays and predictor, same WarmRef stream in
+// the same order. Comparing through Encode covers every field at once
+// and pins the contract the two-phase methodology rests on: the warmed
+// measurement window cannot depend on which engine fast-forwarded.
+func TestBuildEnginesByteIdentical(t *testing.T) {
+	budgets := []uint64{1, 500, 5_000}
+	if testing.Short() {
+		budgets = []uint64{500}
+	}
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			p, err := w.Build(prog.Budget32, workload.ScaleTest)
+			if err != nil {
+				t.Fatalf("build workload: %v", err)
+			}
+			for _, ff := range budgets {
+				cfg := testBuildConfig(ff)
+				cfg.Engine = EngineInterpreted
+				want, ierr := Build(context.Background(), p, cfg)
+				cfg.Engine = EngineTranslated
+				got, terr := Build(context.Background(), p, cfg)
+				if (ierr == nil) != (terr == nil) || (ierr != nil && ierr.Error() != terr.Error()) {
+					t.Fatalf("ff %d: interpreted err %v, translated err %v", ff, ierr, terr)
+				}
+				if ierr != nil {
+					continue // both failed identically (e.g. short program)
+				}
+				compareCheckpoints(t, ff, want, got)
+
+				// The "" default must be the translated engine.
+				cfg.Engine = ""
+				def, derr := Build(context.Background(), p, cfg)
+				if derr != nil {
+					t.Fatalf("ff %d: default engine: %v", ff, derr)
+				}
+				if !bytes.Equal(def.Encode(), want.Encode()) {
+					t.Fatalf("ff %d: default-engine checkpoint differs", ff)
+				}
+			}
+		})
+	}
+}
+
+// compareCheckpoints reports field-level detail before failing on the
+// byte comparison, so a divergence names the state that moved instead
+// of just "bytes differ".
+func compareCheckpoints(t *testing.T, ff uint64, want, got *Checkpoint) {
+	t.Helper()
+	if want.PC != got.PC || want.Regs != got.Regs {
+		t.Errorf("ff %d: architectural state differs: PC %#x/%#x", ff, want.PC, got.PC)
+	}
+	if want.InstCount != got.InstCount || want.LoadCount != got.LoadCount ||
+		want.StoreCount != got.StoreCount || want.BranchCount != got.BranchCount ||
+		want.TakenCount != got.TakenCount {
+		t.Errorf("ff %d: counts differ: inst %d/%d ld %d/%d st %d/%d br %d/%d tk %d/%d",
+			ff, want.InstCount, got.InstCount, want.LoadCount, got.LoadCount,
+			want.StoreCount, got.StoreCount, want.BranchCount, got.BranchCount,
+			want.TakenCount, got.TakenCount)
+	}
+	if want.NextFrame != got.NextFrame || len(want.Pages) != len(got.Pages) {
+		t.Errorf("ff %d: page table differs: %d/%d pages, next frame %d/%d",
+			ff, len(want.Pages), len(got.Pages), want.NextFrame, got.NextFrame)
+	} else {
+		for i := range want.Pages {
+			if want.Pages[i] != got.Pages[i] {
+				t.Errorf("ff %d: page %d differs: %+v vs %+v", ff, i, want.Pages[i], got.Pages[i])
+				break
+			}
+		}
+	}
+	if len(want.WarmRefs) != len(got.WarmRefs) {
+		t.Errorf("ff %d: warm stream length %d/%d", ff, len(want.WarmRefs), len(got.WarmRefs))
+	} else {
+		for i := range want.WarmRefs {
+			if want.WarmRefs[i] != got.WarmRefs[i] {
+				t.Errorf("ff %d: warm ref %d differs: %+v vs %+v (order matters)",
+					ff, i, want.WarmRefs[i], got.WarmRefs[i])
+				break
+			}
+		}
+	}
+	wb, gb := want.Encode(), got.Encode()
+	if !bytes.Equal(wb, gb) {
+		for i := 0; i < len(wb) && i < len(gb); i++ {
+			if wb[i] != gb[i] {
+				t.Fatalf("ff %d: checkpoints diverge at byte %d of %d/%d", ff, i, len(wb), len(gb))
+			}
+		}
+		t.Fatalf("ff %d: checkpoint sizes differ: %d vs %d bytes", ff, len(wb), len(gb))
+	}
+}
+
+// TestBuildEngineErrors pins the engine-independent error surface: the
+// short-program sentinel, the bad-engine rejection, and cancellation
+// all report identically.
+func TestBuildEngineErrors(t *testing.T) {
+	p, err := workload.All()[0].Build(prog.Budget32, workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testBuildConfig(1)
+	cfg.Engine = "jit"
+	if _, err := Build(context.Background(), p, cfg); err == nil {
+		t.Error("unknown engine accepted")
+	}
+
+	// Fast-forward far past the program's halt: both engines must
+	// report ErrShortProgram with the same instruction count.
+	cfg = testBuildConfig(1 << 40)
+	cfg.Engine = EngineInterpreted
+	_, ierr := Build(context.Background(), p, cfg)
+	cfg.Engine = EngineTranslated
+	_, terr := Build(context.Background(), p, cfg)
+	if ierr == nil || terr == nil || ierr.Error() != terr.Error() {
+		t.Errorf("short-program errors differ:\n  interpreted: %v\n  translated:  %v", ierr, terr)
+	}
+
+	// A cancelled context stops both engines with the interrupt wrapper.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, eng := range []string{EngineInterpreted, EngineTranslated} {
+		cfg := testBuildConfig(1 << 40)
+		cfg.Engine = eng
+		_, cerr := Build(ctx, p, cfg)
+		want := fmt.Sprintf("ckpt: build interrupted: %v", context.Canceled)
+		if cerr == nil || cerr.Error() != want {
+			t.Errorf("%s: cancelled build error = %v, want %q", eng, cerr, want)
+		}
+	}
+}

@@ -5,168 +5,9 @@ import (
 	"testing"
 
 	"hbat/internal/emu"
-	"hbat/internal/isa"
 	"hbat/internal/prog"
+	"hbat/internal/progen"
 )
-
-// randProgRNG is a deterministic generator for the differential fuzz
-// test below.
-type randProgRNG uint64
-
-func (r *randProgRNG) next() uint64 {
-	x := uint64(*r)
-	x ^= x << 13
-	x ^= x >> 7
-	x ^= x << 17
-	*r = randProgRNG(x)
-	return x
-}
-
-func (r *randProgRNG) intn(n int) int { return int(r.next() % uint64(n)) }
-
-// Generator flavors: each biases the opcode mix toward one class of
-// pipeline hazard. The fuzz corpus seeds one entry per flavor.
-const (
-	flavorMixed   uint8 = iota // uniform mix (the original distribution)
-	flavorMem                  // load/store heavy: store-forwarding and port pressure
-	flavorBranchy              // branch heavy: wrong-path fetch and squash recovery
-)
-
-// opMix returns the op-case lottery for a flavor; duplicated entries
-// raise that case's probability.
-func opMix(flavor uint8) []int {
-	mixed := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
-	switch flavor {
-	case flavorMem:
-		return append(mixed, 6, 7, 7, 8, 8, 8, 9, 7)
-	case flavorBranchy:
-		return append(mixed, 11, 11, 11, 0, 11)
-	}
-	return mixed
-}
-
-// genRandomProgram builds a random but well-formed program: arithmetic
-// over a handful of registers, loads and stores confined to a private
-// buffer, forward (data-dependent) branches, and post-increment walks
-// that stay in bounds. Every generated program halts. Under
-// prog.Budget8 the allocator adds spill/reload traffic around the same
-// instruction stream, which is exactly the paper's Figure 9 pressure.
-func genRandomProgram(seed uint64, nInsts int, budget prog.RegBudget, flavor uint8) (*prog.Program, error) {
-	r := randProgRNG(seed | 1)
-	mix := opMix(flavor)
-	b := prog.NewBuilder(fmt.Sprintf("fuzz%d", seed))
-	const bufWords = 512
-	b.Alloc("buf", bufWords*8, 8)
-
-	base := b.IVar("base")
-	walk := b.IVar("walk")
-	var regs [6]isa.Reg
-	for i := range regs {
-		regs[i] = b.IVar(fmt.Sprintf("r%d", i))
-	}
-	b.La(base, "buf")
-	b.La(walk, "buf")
-	for i := range regs {
-		b.Li(regs[i], int64(r.intn(1000)))
-	}
-
-	pick := func() isa.Reg { return regs[r.intn(len(regs))] }
-	label := 0
-	pendingLabel := -1
-	walkBudget := 0
-	loopCounter := b.IVar("loopctr")
-	inLoop := false
-	loopLabel := ""
-
-	for i := 0; i < nInsts; i++ {
-		if pendingLabel >= 0 && r.intn(4) == 0 {
-			b.Label(fmt.Sprintf("skip%d", pendingLabel))
-			pendingLabel = -1
-		}
-		// Occasionally open a bounded backward loop (counted, so the
-		// program always terminates); close it a few instructions later.
-		if !inLoop && pendingLabel < 0 && r.intn(24) == 0 {
-			loopLabel = fmt.Sprintf("loop%d", label)
-			label++
-			b.Li(loopCounter, int64(2+r.intn(6)))
-			b.Label(loopLabel)
-			inLoop = true
-		} else if inLoop && r.intn(6) == 0 {
-			b.Addi(loopCounter, loopCounter, -1)
-			b.Bgtz(loopCounter, loopLabel)
-			inLoop = false
-		}
-		switch mix[r.intn(len(mix))] {
-		case 0:
-			b.Add(pick(), pick(), pick())
-		case 1:
-			b.Sub(pick(), pick(), pick())
-		case 2:
-			b.Xor(pick(), pick(), pick())
-		case 3:
-			b.Addi(pick(), pick(), int32(r.intn(2000)-1000))
-		case 4:
-			b.Sll(pick(), pick(), int32(r.intn(8)))
-		case 5:
-			b.Mult(pick(), pick(), pick())
-		case 6:
-			b.Ld(pick(), base, int32(r.intn(bufWords))*8)
-		case 7:
-			b.Sd(pick(), base, int32(r.intn(bufWords))*8)
-		case 8:
-			// Bounded post-increment walk: reset the pointer when the
-			// budget runs out so it never leaves the buffer.
-			if walkBudget == 0 {
-				b.La(walk, "buf")
-				walkBudget = bufWords / 2
-			}
-			if r.intn(2) == 0 {
-				b.LdPost(pick(), walk, 8)
-			} else {
-				b.SdPost(pick(), walk, 8)
-			}
-			walkBudget--
-		case 9:
-			b.LwX(pick(), base, regAnd(b, &r, pick(), bufWords))
-		case 10:
-			b.Div(pick(), pick(), pick())
-		case 11:
-			// Forward data-dependent branch over the next few
-			// instructions (exercises prediction and squash).
-			if pendingLabel < 0 {
-				b.Bgtz(pick(), fmt.Sprintf("skip%d", label))
-				pendingLabel = label
-				label++
-			} else {
-				b.Addi(pick(), pick(), 1)
-			}
-		}
-	}
-	if inLoop {
-		b.Addi(loopCounter, loopCounter, -1)
-		b.Bgtz(loopCounter, loopLabel)
-	}
-	if pendingLabel >= 0 {
-		b.Label(fmt.Sprintf("skip%d", pendingLabel))
-	}
-	// Make the final state observable: store every register.
-	b.Alloc("final", uint64(8*len(regs)), 8)
-	out := b.IVar("out")
-	b.La(out, "final")
-	for i, reg := range regs {
-		b.Sd(reg, out, int32(8*i))
-	}
-	b.Halt()
-	return b.Finalize(budget)
-}
-
-// regAnd emits a masked index: t = reg & mask (word-aligned, in range).
-func regAnd(b *prog.Builder, r *randProgRNG, src isa.Reg, bufWords int) isa.Reg {
-	t := b.IVar("idxTmp")
-	b.Andi(t, src, int32(bufWords-1)*8)
-	b.Andi(t, t, ^7)
-	return t
-}
 
 // TestRandomProgramsDifferential generates random programs and checks
 // that the out-of-order pipeline (on several TLB designs) and the
@@ -184,7 +25,7 @@ func TestRandomProgramsDifferential(t *testing.T) {
 		s := s
 		t.Run(fmt.Sprintf("seed%d", s), func(t *testing.T) {
 			t.Parallel()
-			p, err := genRandomProgram(uint64(s)*2654435761+17, 150, prog.Budget32, uint8(s)%3)
+			p, err := progen.Generate(uint64(s)*2654435761+17, 150, prog.Budget32, progen.Flavor(s)%progen.NumFlavors)
 			if err != nil {
 				t.Fatalf("gen: %v", err)
 			}
@@ -262,12 +103,12 @@ func TestRandomProgramsDifferential(t *testing.T) {
 // register budget's spill/reload traffic.
 func FuzzLockstep(f *testing.F) {
 	// seed, length, design index, flavor, flags (1=Budget8, 2=inorder, 4=vcache)
-	f.Add(uint64(17), uint16(150), uint8(0), flavorMixed, uint8(0))
-	f.Add(uint64(4242), uint16(220), uint8(1), flavorMem, uint8(0))     // store-forwarding heavy on a 1-port TLB
-	f.Add(uint64(907), uint16(220), uint8(2), flavorBranchy, uint8(0))  // squash heavy on the multi-level TLB
-	f.Add(uint64(1251), uint16(180), uint8(3), flavorMixed, uint8(1))   // spill/reload under the 8/8 budget
-	f.Add(uint64(77), uint16(160), uint8(4), flavorMem, uint8(1|2))     // Budget8 + in-order piggyback TLB
-	f.Add(uint64(3301), uint16(160), uint8(0), flavorBranchy, uint8(4)) // virtually-indexed cache path
+	f.Add(uint64(17), uint16(150), uint8(0), progen.FlavorMixed, uint8(0))
+	f.Add(uint64(4242), uint16(220), uint8(1), progen.FlavorMem, uint8(0))     // store-forwarding heavy on a 1-port TLB
+	f.Add(uint64(907), uint16(220), uint8(2), progen.FlavorBranchy, uint8(0))  // squash heavy on the multi-level TLB
+	f.Add(uint64(1251), uint16(180), uint8(3), progen.FlavorMixed, uint8(1))   // spill/reload under the 8/8 budget
+	f.Add(uint64(77), uint16(160), uint8(4), progen.FlavorMem, uint8(1|2))     // Budget8 + in-order piggyback TLB
+	f.Add(uint64(3301), uint16(160), uint8(0), progen.FlavorBranchy, uint8(4)) // virtually-indexed cache path
 	f.Fuzz(func(t *testing.T, seed uint64, n uint16, designIdx, flavor, flags uint8) {
 		designs := []string{"T4", "T1", "M4", "P8", "I4/PB"}
 		nInsts := 20 + int(n)%400
@@ -275,7 +116,7 @@ func FuzzLockstep(f *testing.F) {
 		if flags&1 != 0 {
 			budget = prog.Budget8
 		}
-		p, err := genRandomProgram(seed, nInsts, budget, flavor%3)
+		p, err := progen.Generate(seed, nInsts, budget, flavor%progen.NumFlavors)
 		if err != nil {
 			t.Fatalf("gen: %v", err)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"hbat/internal/bpred"
 	"hbat/internal/cache"
+	"hbat/internal/cancelpoll"
 	"hbat/internal/isa"
 	"hbat/internal/mem"
 	"hbat/internal/prog"
@@ -115,18 +116,14 @@ type Machine struct {
 	progress      func(cycle int64, committed uint64)
 	progressEvery int64
 
-	// cancelCtx/cancelDone implement cooperative cancellation: Run
-	// polls cancelDone at a cycle-granular interval and stops with
-	// cancelCtx.Err() when it closes (see SetCancel).
+	// cancelCtx/cancelPoll implement cooperative cancellation: Run
+	// polls the context every cancelpoll.Every cycles and stops with
+	// its error once cancelled (see SetCancel). cancelCtx is retained
+	// so the functional fast-forward phase can hand the same context
+	// to ckpt.Build.
 	cancelCtx  context.Context
-	cancelDone <-chan struct{}
+	cancelPoll cancelpoll.Poller
 }
-
-// cancelCheckMask throttles the cancellation poll to every 4096 cycles:
-// fine-grained enough that cancellation lands within microseconds of
-// wall time, coarse enough that the channel select never shows up in a
-// profile.
-const cancelCheckMask = 4096 - 1
 
 // intervalBase snapshots the counters an interval sample differences
 // against.
@@ -329,13 +326,9 @@ func (m *Machine) Run() error {
 		if m.cfg.MaxCycles > 0 && m.cycle >= m.cfg.MaxCycles {
 			break
 		}
-		if m.cancelDone != nil && m.cycle&cancelCheckMask == 0 {
-			select {
-			case <-m.cancelDone:
-				m.err = m.cancelCtx.Err()
-			default:
-			}
-			if m.err != nil {
+		if m.cancelPoll.Due(uint64(m.cycle)) {
+			if err := m.cancelPoll.Err(); err != nil {
+				m.err = err
 				break
 			}
 		}
@@ -354,16 +347,21 @@ func (m *Machine) Run() error {
 }
 
 // SetCancel arranges for Run to stop with ctx.Err() once ctx is
-// cancelled, checked at a cycle-granular interval so an in-flight
-// simulation is interrupted promptly. Call before Run; a nil ctx (or
-// one that can never be cancelled) disables the check entirely, which
-// keeps the run loop's fast path a single nil comparison.
+// cancelled, checked every cancelpoll.Every cycles so an in-flight
+// simulation is interrupted promptly. The same context covers the
+// functional fast-forward phase, which polls it at the granularity
+// cancelpoll specifies (per instruction batch for the interpreted
+// engine, per superblock for the translated one). Call before Run; a
+// nil ctx (or one that can never be cancelled) disables the check
+// entirely, which keeps the run loop's fast path a single nil
+// comparison.
 func (m *Machine) SetCancel(ctx context.Context) {
-	if ctx == nil || ctx.Done() == nil {
-		m.cancelCtx, m.cancelDone = nil, nil
+	m.cancelPoll = cancelpoll.New(ctx)
+	if !m.cancelPoll.Enabled() {
+		m.cancelCtx = nil
 		return
 	}
-	m.cancelCtx, m.cancelDone = ctx, ctx.Done()
+	m.cancelCtx = ctx
 }
 
 // SetTracer attaches a pipeline event recorder (nil detaches). With no

@@ -1,0 +1,614 @@
+package sblock
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hbat/internal/emu"
+	"hbat/internal/isa"
+	"hbat/internal/mem"
+	"hbat/internal/prog"
+)
+
+// regMask masks a decoded register index for bounds-check-free access
+// to the register file; isa.NumRegs is a power of two and decoded
+// indices are already in range, so the mask never changes a value.
+const regMask = isa.NumRegs - 1
+
+// CtrlKind classifies the control-flow instruction that closed a batch
+// record, for the consumer's branch-predictor training.
+type CtrlKind uint8
+
+// Batch control kinds.
+const (
+	CtrlNone   CtrlKind = iota // no control instruction executed
+	CtrlBranch                 // conditional branch
+	CtrlJump                   // unconditional jump (J, Jal, Jr, Jalr)
+)
+
+// MemRef is one data reference in program order: the virtual address,
+// the write flag, and the index of the referencing instruction (the
+// machine's InstCount before it retired — the warm-up stamp basis).
+// When the engine's own access translated successfully it also carries
+// the physical address, letting the warming consumer account the
+// reference's page-table walk without repeating it: the engine's
+// translate already demand-allocated the page and set its sticky
+// Ref/Dirty bits with the same permission, so a second walk could only
+// return the same frame. A ref without PAOK (a faulting access, or the
+// per-instruction interpreter fallback) leaves the consumer to
+// translate — and surface page state — exactly as before.
+type MemRef struct {
+	Vaddr   uint64
+	PA      uint64
+	InstIdx uint64
+	Write   bool
+	PAOK    bool
+}
+
+// Batch is one block execution's side-band record for batched warming.
+// The checkpoint builder drains it after each RunBlock call instead of
+// receiving per-instruction callbacks: the fetch stream is implied by
+// (PC0, FetchPA, Count), the data references arrive as a vector, and
+// the terminating control transfer is summarized for predictor
+// training. Refs keeps its capacity across calls.
+type Batch struct {
+	PC0      uint64 // address of the first executed instruction
+	InstIdx0 uint64 // machine InstCount on entry
+	Count    uint64 // instructions executed (may stop short of the block)
+	FetchPA  uint64 // physical address of PC0 (valid when FetchOK)
+	FetchOK  bool
+	Ctrl     CtrlKind
+	Taken    bool
+	NextPC   uint64 // PC after the batch (branch outcome for training)
+	Refs     []MemRef
+}
+
+// Run executes until Halt or maxInsts instructions (0 = unlimited),
+// mirroring emu.Machine.Run exactly — same final state, same error
+// text on budget exhaustion or faults, same OnMemRef callback order.
+// If a cancellation context is armed (SetCancel), it is polled at
+// every block boundary and Run returns the context's error.
+func (e *Engine) Run(maxInsts uint64) error {
+	m := e.m
+	for !m.Halted {
+		if maxInsts > 0 && m.InstCount >= maxInsts {
+			return fmt.Errorf("emu: instruction budget %d exhausted at pc 0x%x", maxInsts, m.PC)
+		}
+		// Exact (select-based) poll: block chaining makes this loop's
+		// iterations rare, and a cancel arriving before Run must stop
+		// it before any instruction executes. The hot per-block check
+		// is the atomic Tripped inside execBlock's chain step.
+		if err := e.poll.Err(); err != nil {
+			return err
+		}
+		if e.pendingInterp > 0 {
+			e.pendingInterp--
+			e.stats.InterpSteps++
+			e.hint = nil
+			if err := m.Step(); err != nil {
+				return err
+			}
+			continue
+		}
+		b := e.hint
+		if b == nil || b.pc0 != m.PC {
+			b = e.lookupBuild(m.PC)
+			if b == nil {
+				return OutsideTextError(m.PC)
+			}
+		}
+		nb, err := e.execBlock(b, maxInsts, nil, m.OnMemRef)
+		if err != nil {
+			return err
+		}
+		e.hint = nb
+	}
+	return nil
+}
+
+// RunBlock executes at most one superblock (bounded so InstCount never
+// exceeds limit; limit 0 = unbounded) and fills batch with the records
+// the checkpoint builder needs. It allocates nothing in steady state.
+// A limit already reached yields Count == 0 and a nil error; a machine
+// already halted yields emu.ErrHalted.
+func (e *Engine) RunBlock(limit uint64, batch *Batch) error {
+	m := e.m
+	batch.Refs = batch.Refs[:0]
+	batch.Count = 0
+	batch.Ctrl = CtrlNone
+	batch.Taken = false
+	batch.FetchOK = false
+	batch.PC0 = m.PC
+	batch.InstIdx0 = m.InstCount
+	if m.Halted {
+		return emu.ErrHalted
+	}
+	if limit > 0 && m.InstCount >= limit {
+		return nil
+	}
+	if err := e.poll.Err(); err != nil {
+		return err
+	}
+	if e.pendingInterp > 0 {
+		err := e.interpStepBatch(batch)
+		batch.Count = m.InstCount - batch.InstIdx0
+		batch.NextPC = m.PC
+		return err
+	}
+	b := e.hint
+	if b == nil || b.pc0 != m.PC {
+		b = e.lookupBuild(m.PC)
+		if b == nil {
+			return OutsideTextError(m.PC)
+		}
+	}
+	// Pre-walk the block's text page so its demand allocation lands
+	// before any of the block's data-page allocations, exactly where
+	// the interpreted warm loop's first-instruction fetch walk would
+	// put it. Blocks never span a page, so one walk covers the whole
+	// batch; the consumer accounts the remaining Count-1 walks. The
+	// one-entry cache skips the page-table lookup when consecutive
+	// blocks share a page (a repeat walk only increments WalkCount).
+	if vpn := m.PC >> e.pageBits; e.textVPNP1 == vpn+1 {
+		m.AS.WalkCount++
+		batch.FetchPA = e.textBase | (m.PC & e.pageMask)
+		batch.FetchOK = true
+	} else if pte, werr := m.AS.Walk(vpn); werr == nil {
+		e.textVPNP1, e.textBase = vpn+1, pte.PFN<<e.pageBits
+		batch.FetchPA = e.textBase | (m.PC & e.pageMask)
+		batch.FetchOK = true
+	}
+	nb, err := e.execBlock(b, limit, batch, nil)
+	batch.Count = m.InstCount - batch.InstIdx0
+	batch.NextPC = m.PC
+	if err != nil {
+		return err
+	}
+	e.hint = nb
+	return nil
+}
+
+// interpStepBatch delegates one instruction to emu.Step after a block
+// invalidation, reproducing the batched bookkeeping (fetch walk, ref
+// capture, control summary) for that instruction.
+func (e *Engine) interpStepBatch(batch *Batch) error {
+	m := e.m
+	e.pendingInterp--
+	e.stats.InterpSteps++
+	e.hint = nil
+	pc := m.PC
+	in := m.Prog.InstAt(pc)
+	if in == nil {
+		return OutsideTextError(pc)
+	}
+	if pte, werr := m.AS.Walk(pc >> e.pageBits); werr == nil {
+		batch.FetchPA = pte.PFN<<e.pageBits | (pc & e.pageMask)
+		batch.FetchOK = true
+	}
+	saved := m.OnMemRef
+	m.OnMemRef = func(vaddr uint64, write bool) {
+		batch.Refs = append(batch.Refs, MemRef{Vaddr: vaddr, InstIdx: m.InstCount, Write: write})
+	}
+	err := m.Step()
+	m.OnMemRef = saved
+	if err != nil {
+		return err
+	}
+	switch in.Class() {
+	case isa.ClassBranch:
+		batch.Ctrl = CtrlBranch
+		batch.Taken = m.PC != pc+isa.InstBytes
+	case isa.ClassJump:
+		batch.Ctrl = CtrlJump
+		batch.Taken = true
+	}
+	return nil
+}
+
+// execBlock dispatches pre-decoded uops against the machine state,
+// bounded by limit. In batch mode (batch non-nil) exactly one block
+// executes, data references are appended to batch.Refs, and the
+// terminator outcome is summarized; with batch nil the engine chains
+// through memoized successors without returning to the caller,
+// re-checking the budget and the cancellation flag at every block
+// boundary. In hook mode the machine's OnMemRef fires per reference,
+// interpreter-identically. It returns the memoized successor block of
+// the last block executed, when its terminator resolved one.
+//
+// The machine's retirement counters and the address space's walk count
+// are held in locals for the duration and flushed on every exit, so
+// the dispatch loop performs no per-instruction stores outside the
+// register file.
+func (e *Engine) execBlock(b *block, limit uint64, batch *Batch, hook func(uint64, bool)) (*block, error) {
+	m := e.m
+	regs := &m.Regs
+	chain := batch == nil
+	pageBits, pageMask := e.pageBits, e.pageMask
+	tlb := &e.tlb
+
+	ic := m.InstCount
+	lc, sc := m.LoadCount, m.StoreCount
+	bc, tc := m.BranchCount, m.TakenCount
+	var wcd, fh, be uint64
+	var next *block
+	var reterr error
+
+blockLoop:
+	for {
+		be++
+		bodyRun := uint64(len(b.body))
+		runTerm := b.hasTerm
+		if limit > 0 {
+			if rem := limit - ic; rem <= bodyRun {
+				bodyRun = rem
+				runTerm = false
+			}
+		}
+
+		// icb+j is the retiring instruction's index, materialized only
+		// where an instruction needs it; ic is re-synced at every exit.
+		body := b.body[:bodyRun]
+		icb := ic
+		for j := 0; j < len(body); j++ {
+			u := body[j]
+			switch u.op {
+			// Non-memory body ops with rd == 0 were translated to Nop
+			// (their only effect is the register write), so every ALU
+			// case below writes its destination unconditionally.
+			case isa.Nop:
+			case isa.Add:
+				regs[u.rd&regMask] = regs[u.rs&regMask] + regs[u.rt&regMask]
+			case isa.Sub:
+				regs[u.rd&regMask] = regs[u.rs&regMask] - regs[u.rt&regMask]
+			case isa.And:
+				regs[u.rd&regMask] = regs[u.rs&regMask] & regs[u.rt&regMask]
+			case isa.Or:
+				regs[u.rd&regMask] = regs[u.rs&regMask] | regs[u.rt&regMask]
+			case isa.Xor:
+				regs[u.rd&regMask] = regs[u.rs&regMask] ^ regs[u.rt&regMask]
+			case isa.Nor:
+				regs[u.rd&regMask] = ^(regs[u.rs&regMask] | regs[u.rt&regMask])
+			case isa.Sllv:
+				regs[u.rd&regMask] = regs[u.rs&regMask] << (regs[u.rt&regMask] & 63)
+			case isa.Srlv:
+				regs[u.rd&regMask] = regs[u.rs&regMask] >> (regs[u.rt&regMask] & 63)
+			case isa.Srav:
+				regs[u.rd&regMask] = uint64(int64(regs[u.rs&regMask]) >> (regs[u.rt&regMask] & 63))
+			case isa.Slt:
+				regs[u.rd&regMask] = b2u(int64(regs[u.rs&regMask]) < int64(regs[u.rt&regMask]))
+			case isa.Sltu:
+				regs[u.rd&regMask] = b2u(regs[u.rs&regMask] < regs[u.rt&regMask])
+			case isa.Addi:
+				regs[u.rd&regMask] = regs[u.rs&regMask] + u.imm
+			case isa.Andi:
+				regs[u.rd&regMask] = regs[u.rs&regMask] & u.imm
+			case isa.Ori:
+				regs[u.rd&regMask] = regs[u.rs&regMask] | u.imm
+			case isa.Xori:
+				regs[u.rd&regMask] = regs[u.rs&regMask] ^ u.imm
+			case isa.Slti:
+				regs[u.rd&regMask] = b2u(int64(regs[u.rs&regMask]) < int64(u.imm))
+			case isa.Sltiu:
+				regs[u.rd&regMask] = b2u(regs[u.rs&regMask] < u.imm)
+			case isa.Sll:
+				regs[u.rd&regMask] = regs[u.rs&regMask] << u.imm
+			case isa.Srl:
+				regs[u.rd&regMask] = regs[u.rs&regMask] >> u.imm
+			case isa.Sra:
+				regs[u.rd&regMask] = uint64(int64(regs[u.rs&regMask]) >> u.imm)
+			case isa.Lui:
+				regs[u.rd&regMask] = u.imm
+			case isa.Mult:
+				regs[u.rd&regMask] = regs[u.rs&regMask] * regs[u.rt&regMask]
+			case isa.Div:
+				if regs[u.rt&regMask] == 0 {
+					regs[u.rd&regMask] = 0
+				} else {
+					regs[u.rd&regMask] = uint64(int64(regs[u.rs&regMask]) / int64(regs[u.rt&regMask]))
+				}
+			case isa.Rem:
+				if regs[u.rt&regMask] == 0 {
+					regs[u.rd&regMask] = 0
+				} else {
+					regs[u.rd&regMask] = uint64(int64(regs[u.rs&regMask]) % int64(regs[u.rt&regMask]))
+				}
+			case isa.AddF:
+				regs[u.rd&regMask] = math.Float64bits(math.Float64frombits(regs[u.rs&regMask]) + math.Float64frombits(regs[u.rt&regMask]))
+			case isa.SubF:
+				regs[u.rd&regMask] = math.Float64bits(math.Float64frombits(regs[u.rs&regMask]) - math.Float64frombits(regs[u.rt&regMask]))
+			case isa.MulF:
+				regs[u.rd&regMask] = math.Float64bits(math.Float64frombits(regs[u.rs&regMask]) * math.Float64frombits(regs[u.rt&regMask]))
+			case isa.DivF:
+				regs[u.rd&regMask] = math.Float64bits(math.Float64frombits(regs[u.rs&regMask]) / math.Float64frombits(regs[u.rt&regMask]))
+			case isa.AbsF:
+				regs[u.rd&regMask] = math.Float64bits(math.Abs(math.Float64frombits(regs[u.rs&regMask])))
+			case isa.NegF:
+				regs[u.rd&regMask] = math.Float64bits(-math.Float64frombits(regs[u.rs&regMask]))
+			case isa.MovF:
+				regs[u.rd&regMask] = regs[u.rs&regMask]
+			case isa.CvtIF:
+				regs[u.rd&regMask] = math.Float64bits(float64(int64(regs[u.rs&regMask])))
+			case isa.CvtFI:
+				f := math.Float64frombits(regs[u.rs&regMask])
+				if math.IsNaN(f) {
+					regs[u.rd&regMask] = 0
+				} else {
+					regs[u.rd&regMask] = uint64(int64(f))
+				}
+			case isa.MTF:
+				regs[u.rd&regMask] = regs[u.rs&regMask]
+			case isa.MFF:
+				regs[u.rd&regMask] = regs[u.rs&regMask]
+			case isa.CmpLtF:
+				regs[u.rd&regMask] = b2u(math.Float64frombits(regs[u.rs&regMask]) < math.Float64frombits(regs[u.rt&regMask]))
+			case isa.CmpLeF:
+				regs[u.rd&regMask] = b2u(math.Float64frombits(regs[u.rs&regMask]) <= math.Float64frombits(regs[u.rt&regMask]))
+			case isa.CmpEqF:
+				regs[u.rd&regMask] = b2u(math.Float64frombits(regs[u.rs&regMask]) == math.Float64frombits(regs[u.rt&regMask]))
+			case isa.Lb, isa.Lbu, isa.Lh, isa.Lhu, isa.Lw, isa.Ld, isa.LdF:
+				addr, newBase, upd := effAddr(u, regs)
+				if batch != nil {
+					batch.Refs = append(batch.Refs, MemRef{Vaddr: addr, InstIdx: icb + uint64(j), Write: false})
+				} else if hook != nil {
+					// The hook observes the machine (the differential
+					// battery stamps refs with InstCount), so flush the
+					// hoisted counters first.
+					ic = icb + uint64(j)
+					m.InstCount = ic
+					m.LoadCount, m.StoreCount = lc, sc
+					m.BranchCount, m.TakenCount = bc, tc
+					m.AS.WalkCount += wcd
+					wcd = 0
+					hook(addr, false)
+				}
+				// Inline translation-cache fast path; e.load is the
+				// uncommon rest (cache miss, unframed page, frame-tail
+				// access) and keeps the exact same observable effects.
+				var raw, pa uint64
+				vpn := addr >> pageBits
+				en := &tlb[vpn&tlbMask]
+				if fr := en.fr; fr != nil && en.vpnP1 == vpn+1 && en.readOK && (en.base|(addr&pageMask))&(mem.FrameSize-1) <= mem.FrameSize-8 {
+					pa = en.base | (addr & pageMask)
+					off := pa & (mem.FrameSize - 1)
+					wcd++
+					fh++
+					switch u.width {
+					case 1:
+						raw = uint64(fr[off])
+					case 2:
+						raw = uint64(binary.LittleEndian.Uint16(fr[off:]))
+					case 4:
+						raw = uint64(binary.LittleEndian.Uint32(fr[off:]))
+					default:
+						raw = binary.LittleEndian.Uint64(fr[off:])
+					}
+				} else {
+					var lerr error
+					if raw, pa, lerr = e.load(addr, u.width); lerr != nil {
+						ic = icb + uint64(j)
+						reterr = e.faultErr(b.pc0+isa.InstBytes*uint64(j), lerr)
+						next = nil
+						break blockLoop
+					}
+				}
+				if batch != nil {
+					r := &batch.Refs[len(batch.Refs)-1]
+					r.PA, r.PAOK = pa, true
+				}
+				if u.rd != 0 {
+					regs[u.rd&regMask] = isa.LoadExtend(u.op, raw)
+				}
+				if upd && u.rs != 0 {
+					regs[u.rs&regMask] = newBase
+				}
+				lc++
+			case isa.Sb, isa.Sh, isa.Sw, isa.Sd, isa.StF:
+				addr, newBase, upd := effAddr(u, regs)
+				if batch != nil {
+					batch.Refs = append(batch.Refs, MemRef{Vaddr: addr, InstIdx: icb + uint64(j), Write: true})
+				} else if hook != nil {
+					ic = icb + uint64(j)
+					m.InstCount = ic
+					m.LoadCount, m.StoreCount = lc, sc
+					m.BranchCount, m.TakenCount = bc, tc
+					m.AS.WalkCount += wcd
+					wcd = 0
+					hook(addr, true)
+				}
+				v := regs[u.rd&regMask]
+				var pa uint64
+				vpn := addr >> pageBits
+				en := &tlb[vpn&tlbMask]
+				if fr := en.fr; fr != nil && en.vpnP1 == vpn+1 && en.writeOK && (en.base|(addr&pageMask))&(mem.FrameSize-1) <= mem.FrameSize-8 {
+					pa = en.base | (addr & pageMask)
+					off := pa & (mem.FrameSize - 1)
+					wcd++
+					fh++
+					switch u.width {
+					case 1:
+						fr[off] = byte(v)
+					case 2:
+						binary.LittleEndian.PutUint16(fr[off:], uint16(v))
+					case 4:
+						binary.LittleEndian.PutUint32(fr[off:], uint32(v))
+					default:
+						binary.LittleEndian.PutUint64(fr[off:], v)
+					}
+				} else {
+					var serr error
+					if pa, serr = e.store(addr, u.width, v); serr != nil {
+						ic = icb + uint64(j)
+						reterr = e.faultErr(b.pc0+isa.InstBytes*uint64(j), serr)
+						next = nil
+						break blockLoop
+					}
+				}
+				if batch != nil {
+					r := &batch.Refs[len(batch.Refs)-1]
+					r.PA, r.PAOK = pa, true
+				}
+				if upd && u.rs != 0 {
+					regs[u.rs&regMask] = newBase
+				}
+				sc++
+				if addr < e.codeEnd && addr+uint64(u.width) > prog.CodeBase {
+					ic = icb + uint64(j) + 1
+					m.PC = b.pc0 + isa.InstBytes*(uint64(j)+1)
+					e.invalidate(addr, u.width)
+					next = nil
+					break blockLoop
+				}
+			default:
+				// Unreachable for well-formed programs: every non-control
+				// op is enumerated above. Mirror emu.Step's default (ALU
+				// path writes ALUEval's zero result); rd == 0 was folded
+				// to Nop at translation.
+				regs[u.rd&regMask] = 0
+			}
+		}
+		ic = icb + bodyRun
+
+		next = nil
+		if !runTerm {
+			m.PC = b.pc0 + isa.InstBytes*bodyRun
+			if !b.hasTerm && bodyRun == uint64(len(b.body)) {
+				if b.fall == nil {
+					b.fall = e.lookupBuild(b.end)
+				}
+				next = b.fall
+			}
+		} else {
+			// Terminator: the block's one control-flow (or halt)
+			// instruction.
+			t := &b.term
+			termPC := b.pc0 + isa.InstBytes*uint64(len(b.body))
+			switch t.op {
+			case isa.Halt:
+				// emu.Step leaves the PC at the halt instruction.
+				m.Halted = true
+				ic++
+				m.PC = termPC
+			case isa.Beq, isa.Bne, isa.Blez, isa.Bgtz, isa.Bltz, isa.Bgez:
+				bc++
+				var taken bool
+				switch t.op {
+				case isa.Beq:
+					taken = regs[t.rs&regMask] == regs[t.rt&regMask]
+				case isa.Bne:
+					taken = regs[t.rs&regMask] != regs[t.rt&regMask]
+				case isa.Blez:
+					taken = int64(regs[t.rs&regMask]) <= 0
+				case isa.Bgtz:
+					taken = int64(regs[t.rs&regMask]) > 0
+				case isa.Bltz:
+					taken = int64(regs[t.rs&regMask]) < 0
+				case isa.Bgez:
+					taken = int64(regs[t.rs&regMask]) >= 0
+				}
+				if taken {
+					tc++
+					m.PC = b.target
+					if b.taken == nil {
+						b.taken = e.lookupBuild(b.target)
+					}
+					next = b.taken
+				} else {
+					m.PC = termPC + isa.InstBytes
+					if b.fall == nil {
+						b.fall = e.lookupBuild(m.PC)
+					}
+					next = b.fall
+				}
+				if batch != nil {
+					batch.Ctrl = CtrlBranch
+					batch.Taken = taken
+				}
+				ic++
+			case isa.J, isa.Jal:
+				bc++
+				tc++
+				if t.op == isa.Jal {
+					regs[isa.RA] = termPC + isa.InstBytes
+				}
+				m.PC = b.target
+				if b.taken == nil {
+					b.taken = e.lookupBuild(b.target)
+				}
+				next = b.taken
+				if batch != nil {
+					batch.Ctrl = CtrlJump
+					batch.Taken = true
+				}
+				ic++
+			case isa.Jr, isa.Jalr:
+				bc++
+				tc++
+				// emu.Step writes the link register before reading the
+				// jump base, so jalr with rd == rs jumps to the link
+				// value.
+				if t.op == isa.Jalr && t.rd != 0 {
+					regs[t.rd&regMask] = termPC + isa.InstBytes
+				}
+				tgt := regs[t.rs&regMask]
+				m.PC = tgt
+				if b.jrBlk != nil && b.jrPC == tgt {
+					next = b.jrBlk
+				} else {
+					next = e.lookupBuild(tgt)
+					b.jrPC, b.jrBlk = tgt, next
+				}
+				if batch != nil {
+					batch.Ctrl = CtrlJump
+					batch.Taken = true
+				}
+				ic++
+			}
+		}
+
+		// Chain to the memoized successor (plain-Run mode only), with
+		// the same budget and cancellation checks the Run loop would
+		// perform between blocks.
+		if !chain || next == nil || m.Halted {
+			break
+		}
+		if limit > 0 && ic >= limit {
+			break
+		}
+		if e.poll.Tripped() {
+			break
+		}
+		b = next
+	}
+
+	m.InstCount = ic
+	m.LoadCount, m.StoreCount = lc, sc
+	m.BranchCount, m.TakenCount = bc, tc
+	m.AS.WalkCount += wcd
+	e.stats.FastHits += fh
+	e.stats.BlockExecs += be
+	return next, reterr
+}
+
+// effAddr mirrors isa.EffAddr on a pre-decoded uop.
+func effAddr(u uop, regs *[isa.NumRegs]uint64) (addr, newBase uint64, updates bool) {
+	rs := u.rs & regMask
+	switch u.mode {
+	case isa.AMImm:
+		return regs[rs] + u.imm, 0, false
+	case isa.AMReg:
+		return regs[rs] + regs[u.rt&regMask], 0, false
+	case isa.AMPostInc:
+		return regs[rs], regs[rs] + u.imm, true
+	case isa.AMPostDec:
+		return regs[rs], regs[rs] - u.imm, true
+	}
+	return regs[rs], 0, false
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,98 @@
+//go:build !race
+
+package sblock_test
+
+import (
+	"testing"
+
+	"hbat/internal/emu"
+	"hbat/internal/emu/sblock"
+	"hbat/internal/prog"
+)
+
+// steadyLoopProgram builds an endless loop with live memory traffic:
+// every iteration loads and stores through a small buffer and takes a
+// backward branch, so repeated RunBlock calls exercise the block
+// dispatcher, the software translation cache, and the batch ref vector
+// — the whole fast path.
+func steadyLoopProgram(t testing.TB) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("steady")
+	buf := b.Alloc("buf", 4096, 8)
+	base := b.IVar("base")
+	v := b.IVar("v")
+	i := b.IVar("i")
+	b.Li(base, int64(buf))
+	b.Li(v, 1)
+	b.Li(i, 0)
+	b.Label("loop")
+	b.Sd(v, base, 0)
+	b.Ld(v, base, 8)
+	b.Addi(v, v, 3)
+	b.Sd(v, base, 8)
+	b.Addi(i, i, 1)
+	b.Bgtz(i, "loop")
+	p, err := b.Finalize(prog.Budget32)
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	return p
+}
+
+// TestRunBlockSteadyStateAllocs pins the fast-forward cost model: once
+// the block cache and translation cache are warm, dispatching blocks
+// through RunBlock allocates nothing — the batched warm path's
+// per-instruction cost is pure compute. (Excluded under -race: the
+// race runtime adds its own allocations to instrumented code.)
+func TestRunBlockSteadyStateAllocs(t *testing.T) {
+	m, err := emu.New(steadyLoopProgram(t), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sblock.New(m)
+	var batch sblock.Batch
+	// Warm-up: translate the loop's blocks, fill the translation
+	// cache, and grow batch.Refs to its steady capacity.
+	for i := 0; i < 64; i++ {
+		if err := e.RunBlock(0, &batch); err != nil {
+			t.Fatalf("warm-up RunBlock: %v", err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := e.RunBlock(0, &batch); err != nil {
+			t.Fatalf("RunBlock: %v", err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state RunBlock allocates %.2f times per dispatch, want 0", avg)
+	}
+}
+
+// TestEngineRunSteadyStateAllocs is the same guard for the plain Run
+// loop (driven in budget slices, as the checkpoint-less caller would).
+func TestEngineRunSteadyStateAllocs(t *testing.T) {
+	m, err := emu.New(steadyLoopProgram(t), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sblock.New(m)
+	if rerr := e.Run(10_000); rerr == nil {
+		t.Fatal("expected budget stop")
+	}
+	next := m.InstCount
+	avg := testing.AllocsPerRun(200, func() {
+		next += 500
+		if rerr := e.Run(next); rerr == nil {
+			t.Fatal("expected budget stop")
+		}
+	})
+	if avg == 0 {
+		return
+	}
+	// Run's budget stop returns a formatted error; tolerate only that
+	// one fmt.Errorf (boxed operands + message + wrapper), nothing
+	// from the dispatch path itself.
+	if avg > 5 {
+		t.Errorf("steady-state Run allocates %.2f times per slice, want <= 5 (the budget error)", avg)
+	}
+}

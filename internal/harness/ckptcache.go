@@ -18,7 +18,10 @@ import (
 // the design: checkpoints carry a design-independent warm-reference
 // list (see internal/ckpt), so the same functional warm-up serves all
 // thirteen TLB designs, the in-order variant, and the virtual-cache
-// variant of a grid.
+// variant of a grid. It also excludes the functional engine
+// (RunSpec.FFwdEngine): both engines produce byte-identical
+// checkpoints, so a checkpoint built by either — in memory or on disk
+// under CkptDir — is valid for both.
 type ckptKey struct {
 	workload string
 	budget   prog.RegBudget
@@ -116,6 +119,7 @@ func (e *Engine) loadOrBuildCheckpoint(ctx context.Context, key ckptKey, p *prog
 		ICache:      cfg.ICache,
 		DCache:      cfg.DCache,
 		Branch:      cfg.Branch,
+		Engine:      cfg.FFwdEngine,
 	})
 	if err != nil {
 		return nil, false, err

@@ -98,6 +98,41 @@ func TestCheckpointDirPersistence(t *testing.T) {
 	}
 }
 
+// TestFFwdEngineSharesCaches: FFwdEngine must be invisible to both the
+// memoization key and the checkpoint cache — the engines produce
+// byte-identical checkpoints, so caching per engine would only halve
+// the hit rate.
+func TestFFwdEngineSharesCaches(t *testing.T) {
+	interp := ffwdSpec("T4")
+	interp.FFwdEngine = "interp"
+	sblock := ffwdSpec("T4")
+	sblock.FFwdEngine = "sblock"
+
+	if interp.key() != sblock.key() {
+		t.Fatalf("specKey differs by engine:\n%#v\n%#v", interp.key(), sblock.key())
+	}
+	if interp.Hash() != ffwdSpec("T4").Hash() {
+		t.Fatal("Hash differs between explicit and default engine")
+	}
+
+	// With memoization off, the same spec runs twice — once per engine —
+	// and the second run must reuse the first's checkpoint.
+	e := NewEngine()
+	e.NoMemo = true
+	r1 := e.Run(context.Background(), interp)
+	r2 := e.Run(context.Background(), sblock)
+	if r1.Err != nil || r2.Err != nil {
+		t.Fatalf("runs failed: %v / %v", r1.Err, r2.Err)
+	}
+	if r1.Stats != r2.Stats {
+		t.Fatal("interp- and sblock-warmed runs produced different stats")
+	}
+	if cs := e.CacheStats(); cs.CkptMisses != 1 || cs.CkptHits != 1 {
+		t.Fatalf("checkpoint cache: %d misses, %d hits; want the sblock run to reuse the interp build",
+			cs.CkptMisses, cs.CkptHits)
+	}
+}
+
 // resumeOpts is the reduced grid the resume test sweeps.
 func resumeOpts(e *Engine) Options {
 	return Options{

@@ -82,7 +82,7 @@ func designFigure(ctx context.Context, name, caption string, opts Options, pageS
 			specs = append(specs, RunSpec{
 				Workload: w, Design: d, Budget: budget, Scale: opts.Scale,
 				PageSize: pageSize, InOrder: inOrder, Seed: opts.seed(),
-				FastForward: opts.FastForward,
+				FastForward: opts.FastForward, FFwdEngine: opts.FFwdEngine,
 			})
 		}
 	}
@@ -173,7 +173,7 @@ func Table3(ctx context.Context, opts Options) ([]Table3Row, error) {
 		specs[i] = RunSpec{
 			Workload: w, Design: "T4", Budget: prog.Budget32,
 			Scale: opts.Scale, PageSize: 4096, Seed: opts.seed(),
-			FastForward: opts.FastForward,
+			FastForward: opts.FastForward, FFwdEngine: opts.FFwdEngine,
 		}
 	}
 	results, err := opts.engine().RunAll(ctx, specs, opts.Parallelism, opts.Progress)

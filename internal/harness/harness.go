@@ -40,6 +40,16 @@ type RunSpec struct {
 	// workload's functional instruction count.
 	FastForward uint64
 
+	// FFwdEngine selects the functional engine for the warm-up
+	// (ckpt.BuildConfig.Engine): "" or "sblock" for the superblock-
+	// translated engine, "interp" for the reference interpreter. The
+	// two engines produce byte-identical checkpoints (a differential
+	// battery in internal/ckpt enforces this), so FFwdEngine is
+	// deliberately EXCLUDED from both the RunSpec memoization key and
+	// the checkpoint cache key: results and checkpoints are shared
+	// across engine choices.
+	FFwdEngine string
+
 	// Extensions beyond the paper's grid.
 	VirtualCache       bool
 	ContextSwitchEvery uint64
@@ -120,6 +130,9 @@ type Options struct {
 	// the experiment grids (Figure 6 is purely functional and ignores
 	// it). Zero keeps the paper's run-from-reset methodology.
 	FastForward uint64
+	// FFwdEngine selects the functional engine for the warm-ups
+	// (RunSpec.FFwdEngine; "" = the superblock-translated default).
+	FFwdEngine string
 	// Workloads restricts the benchmark set (nil = all ten).
 	Workloads []string
 	// Designs restricts the design set (nil = Table 2's thirteen).

@@ -160,7 +160,9 @@ type memoEntry struct {
 // specKey is the memoization key: every RunSpec field that affects the
 // simulation's outcome. Observation-only fields (Progress and its
 // period) are deliberately absent — a cached result is identical with
-// or without a heartbeat attached.
+// or without a heartbeat attached. FFwdEngine is likewise absent: both
+// functional engines produce byte-identical warm-up state, so a result
+// computed under either serves the other.
 type specKey struct {
 	workload     string
 	design       string
@@ -571,6 +573,7 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec) RunResult {
 	cfg.VirtualCache = spec.VirtualCache
 	cfg.FlushTLBEvery = spec.ContextSwitchEvery
 	cfg.Lockstep = spec.Lockstep
+	cfg.FFwdEngine = spec.FFwdEngine
 	if spec.Seed != 0 {
 		cfg.Seed = spec.Seed
 	}

@@ -87,6 +87,16 @@ func (m *Memory) ImportFrames(frames []FrameImage) {
 	}
 }
 
+// Frame returns a pointer to the backing frame containing addr,
+// allocating it on first touch. The pointer stays valid until
+// ImportFrames replaces the store. The translated functional engine
+// caches it to skip the frame-map lookup on its memory fast path;
+// allocating on a read here is invisible because an all-zero frame
+// reads identically to an untouched one and ExportFrames omits it.
+func (m *Memory) Frame(addr uint64) *[FrameSize]byte {
+	return (*[FrameSize]byte)(m.frameFor(addr))
+}
+
 // ByteAt returns the byte at addr (0 for untouched memory).
 func (m *Memory) ByteAt(addr uint64) byte {
 	f := m.peekFrame(addr)
