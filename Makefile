@@ -12,13 +12,15 @@ test:
 
 # The CI gate: vet, the race-enabled test suite (which includes the
 # lockstep differential, cross-design equivalence, golden-file, and
-# concurrent-/metrics-scrape tests), and a gofmt check. Golden fixtures
-# are regenerated with
+# concurrent-/metrics-scrape tests), a gofmt check, and the promcheck
+# self-test (one real run rendered through the exposition pipeline and
+# re-parsed, no server needed). Golden fixtures are regenerated with
 # `go test ./internal/harness/ ./internal/report/ -run TestGolden -update`.
 check:
 	go vet ./...
 	test -z "$$(gofmt -l .)" || { gofmt -l .; echo 'gofmt: files need formatting'; exit 1; }
 	go test -race ./...
+	go run ./internal/obs/promcheck -static
 
 # One iteration of every benchmark (tables, figures, ablations).
 bench:

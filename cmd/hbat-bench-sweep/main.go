@@ -19,10 +19,17 @@
 // written as JSON (BENCH_emu.json by default; -emu=false skips the
 // pass).
 //
+// Every invocation also appends one commit-stamped line (timestamp,
+// git SHA, all three results) to an append-only history file
+// (BENCH_history.jsonl by default; -history "" disables), so
+// performance can be tracked across commits; CI uploads it as an
+// artifact.
+//
 // Usage:
 //
 //	hbat-bench-sweep                 # test scale, writes BENCH_sweep.json + BENCH_ffwd.json
 //	hbat-bench-sweep -scale small -o bench.json
+//	hbat-bench-sweep -spans          # span timeline of the benched sweeps
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"time"
 
 	"hbat"
@@ -92,6 +100,54 @@ type ffwdResult struct {
 
 	CkptHits   uint64 `json:"ckpt_hits"`
 	CkptMisses uint64 `json:"ckpt_misses"`
+}
+
+// historyRecord is one line of BENCH_history.jsonl: a timestamped,
+// commit-stamped snapshot of every benchmark the invocation ran, so
+// CI can accumulate a performance series across commits.
+type historyRecord struct {
+	TS    string      `json:"ts"`
+	SHA   string      `json:"sha,omitempty"`
+	Scale string      `json:"scale"`
+	Sweep *result     `json:"sweep,omitempty"`
+	FFwd  *ffwdResult `json:"ffwd,omitempty"`
+	Emu   *emuResult  `json:"emu,omitempty"`
+}
+
+// gitSHA identifies the benchmarked commit: GITHUB_SHA in CI, the
+// build's stamped vcs.revision otherwise, "" when neither exists
+// (e.g. `go run` from a dirty tree).
+func gitSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return ""
+}
+
+// appendHistory appends rec as one JSON line. Append-only so repeated
+// CI runs accumulate a series; a torn final line (crash mid-write)
+// leaves every earlier record readable.
+func appendHistory(path string, rec historyRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseScale maps a -scale flag value to a workload.Scale.
@@ -394,6 +450,7 @@ func main() {
 		emuBench = flag.Bool("emu", true, "also benchmark the translated vs interpreted functional engines")
 		emuOut   = flag.String("emu-o", "BENCH_emu.json", "output JSON path for the functional-engine benchmark")
 		manifest = flag.String("manifest", "", "write a run-provenance manifest (runs + result SHA-256) to this file")
+		history  = flag.String("history", "BENCH_history.jsonl", "append a timestamped, commit-stamped JSON line with every benchmark result to this file (\"\" = off)")
 	)
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -455,9 +512,10 @@ func main() {
 	os.Stdout.Write(data)
 
 	var ffwdData []byte
+	var fres *ffwdResult
 	if *ffwd {
 		logger.Info("bench pass", "pass", "ffwd", "grid", "full design x workload, from reset vs 90% fast-forward")
-		fres, err := benchFFwd(ctx, *scale)
+		fres, err = benchFFwd(ctx, *scale)
 		if err != nil {
 			fail(err)
 		}
@@ -477,9 +535,10 @@ func main() {
 	}
 
 	var emuData []byte
+	var eres *emuResult
 	if *emuBench {
 		logger.Info("bench pass", "pass", "emu", "grid", "per-workload ckpt.Build, interpreter vs superblock translation")
-		eres, err := benchEmu(ctx, *scale)
+		eres, err = benchEmu(ctx, *scale)
 		if err != nil {
 			fail(err)
 		}
@@ -498,6 +557,29 @@ func main() {
 		os.Stdout.Write(emuData)
 	}
 
+	if *history != "" {
+		rec := historyRecord{
+			TS:    time.Now().UTC().Format(time.RFC3339),
+			SHA:   gitSHA(),
+			Scale: *scale,
+			Sweep: &res,
+			FFwd:  fres,
+			Emu:   eres,
+		}
+		if err := appendHistory(*history, rec); err != nil {
+			fail(err)
+		}
+		logger.Info("history appended", "path", *history, "sha", rec.SHA, "ts", rec.TS)
+	}
+
+	spansPath, err := obsFlags.FinishSpans()
+	if err != nil {
+		fail(err)
+	}
+	if spansPath != "" {
+		logger.Info("spans written", "journal", obsFlags.SpansOut+".jsonl", "timeline", spansPath)
+	}
+
 	if *manifest != "" {
 		m := hbat.NewManifest("hbat-bench-sweep")
 		m.RecordRuns(hbat.SweepEngine())
@@ -507,6 +589,11 @@ func main() {
 		}
 		if emuData != nil {
 			m.AddArtifactBytes("bench_emu.json", *emuOut, emuData)
+		}
+		if spansPath != "" {
+			if err := m.AddArtifactFile("spans.perfetto.json", spansPath); err != nil {
+				fail(err)
+			}
 		}
 		if err := m.WriteFile(*manifest); err != nil {
 			fail(err)

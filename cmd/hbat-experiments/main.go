@@ -121,8 +121,20 @@ func main() {
 			logger.Info("csv written", "path", path)
 		}
 	}
+	spansPath, err := obsFlags.FinishSpans()
+	if err != nil {
+		fail(err)
+	}
+	if spansPath != "" {
+		logger.Info("spans written", "journal", obsFlags.SpansOut+".jsonl", "timeline", spansPath)
+	}
 	if *manifest != "" {
 		man.RecordRuns(hbat.SweepEngine())
+		if spansPath != "" {
+			if err := man.AddArtifactFile("spans.perfetto.json", spansPath); err != nil {
+				fail(err)
+			}
+		}
 		if err := man.WriteFile(*manifest); err != nil {
 			fail(err)
 		}

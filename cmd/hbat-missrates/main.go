@@ -46,10 +46,22 @@ func main() {
 	if err := hbat.RunExperimentContext(ctx, "fig6", opts, out); err != nil {
 		fail(err)
 	}
+	spansPath, err := obsFlags.FinishSpans()
+	if err != nil {
+		fail(err)
+	}
+	if spansPath != "" {
+		logger.Info("spans written", "journal", obsFlags.SpansOut+".jsonl", "timeline", spansPath)
+	}
 	if *manifest != "" {
 		m := hbat.NewManifest("hbat-missrates")
 		m.RecordRuns(hbat.SweepEngine())
 		m.AddArtifactBytes("fig6.txt", "-", buf.Bytes())
+		if spansPath != "" {
+			if err := m.AddArtifactFile("spans.perfetto.json", spansPath); err != nil {
+				fail(err)
+			}
+		}
 		if err := m.WriteFile(*manifest); err != nil {
 			fail(err)
 		}

@@ -83,11 +83,23 @@ func main() {
 	}
 	logger.Info("report written", "path", *out)
 
+	spansPath, err := obsFlags.FinishSpans()
+	if err != nil {
+		fail(err)
+	}
+	if spansPath != "" {
+		logger.Info("spans written", "journal", obsFlags.SpansOut+".jsonl", "timeline", spansPath)
+	}
 	if *manifest != "" {
 		m := harness.NewManifest("hbat-report", time.Now())
 		m.RecordRuns(eng)
 		if err := m.AddArtifactFile("report.html", *out); err != nil {
 			fail(err)
+		}
+		if spansPath != "" {
+			if err := m.AddArtifactFile("spans.perfetto.json", spansPath); err != nil {
+				fail(err)
+			}
 		}
 		if err := m.WriteFile(*manifest); err != nil {
 			fail(err)

@@ -44,6 +44,24 @@ func setupObs(ctx context.Context, f *obs.Flags) *slog.Logger {
 	return logger
 }
 
+// cmdSpan opens one root span covering a subcommand's work (there is
+// no sweep engine here, so the subcommand itself is the traced unit)
+// and returns a finish func that ends it and exports the -spans
+// outputs.
+func cmdSpan(f *obs.Flags, name, subject string) func() {
+	tr := f.Tracer()
+	sp := tr.Start(tr.NewTrace(), nil, name)
+	if sp != nil {
+		sp.SetAttr("subject", subject)
+	}
+	return func() {
+		sp.End()
+		if _, err := f.FinishSpans(); err != nil {
+			fatalf("spans: %v", err)
+		}
+	}
+}
+
 func parseScale(s string) workload.Scale {
 	switch s {
 	case "test":
@@ -88,6 +106,8 @@ func capture(ctx context.Context, args []string) {
 	obsFlags := obs.AddFlags(fs)
 	fs.Parse(args)
 	logger := setupObs(ctx, obsFlags)
+	finish := cmdSpan(obsFlags, "capture", *wl)
+	defer finish()
 	if *out == "" {
 		fatalf("capture: -o is required")
 	}
@@ -139,6 +159,8 @@ func info(ctx context.Context, args []string) {
 	obsFlags := obs.AddFlags(fs)
 	fs.Parse(args)
 	setupObs(ctx, obsFlags)
+	finish := cmdSpan(obsFlags, "info", *in)
+	defer finish()
 	if *in == "" {
 		fatalf("info: -i is required")
 	}
@@ -178,6 +200,8 @@ func replay(ctx context.Context, args []string) {
 	obsFlags := obs.AddFlags(fs)
 	fs.Parse(args)
 	logger := setupObs(ctx, obsFlags)
+	finish := cmdSpan(obsFlags, "replay", *in)
+	defer finish()
 	if *in == "" {
 		fatalf("replay: -i is required")
 	}

@@ -12,7 +12,7 @@
 //	     [-interval-csv out.csv] [-interval N] [-progress]
 //	     [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //	     [-obs :8090] [-log-level info] [-log-format text|json]
-//	     [-manifest manifest.json]
+//	     [-spans] [-spans-out prefix] [-manifest manifest.json]
 //	hbat -list
 //	hbat -dump-config
 package main
@@ -95,6 +95,14 @@ func run(ctx context.Context) error {
 	if srv != nil {
 		defer srv.Close()
 	}
+	// Export the merged span timeline on every exit path; the success
+	// path below calls FinishSpans first (it is one-shot) so it can
+	// name the files and stamp them into the manifest.
+	defer func() {
+		if _, err := obsFlags.FinishSpans(); err != nil {
+			fmt.Fprintln(os.Stderr, "hbat: spans:", err)
+		}
+	}()
 
 	if *dumpCfg {
 		fmt.Println(hbat.BaselineConfig())
@@ -240,6 +248,13 @@ func run(ctx context.Context) error {
 			fmt.Printf("interval-csv   %s\n", *intervalCSV)
 		}
 	}
+	spansPath, err := obsFlags.FinishSpans()
+	if err != nil {
+		return err
+	}
+	if spansPath != "" {
+		fmt.Printf("spans          %s.jsonl + %s\n", obsFlags.SpansOut, spansPath)
+	}
 	if *manifest != "" {
 		m := hbat.NewManifest("hbat")
 		m.RecordRuns(hbat.SweepEngine())
@@ -248,6 +263,12 @@ func run(ctx context.Context) error {
 			{"metrics.csv", *metricsCSV},
 			{"trace", *traceFile},
 			{"intervals.csv", *intervalCSV},
+		}
+		if spansPath != "" {
+			artifacts = append(artifacts,
+				struct{ name, path string }{"spans.jsonl", obsFlags.SpansOut + ".jsonl"},
+				struct{ name, path string }{"spans.perfetto.json", spansPath},
+			)
 		}
 		for _, a := range artifacts {
 			if a.path == "" || a.path == "-" {

@@ -6,7 +6,19 @@ import (
 	"io"
 
 	"hbat/internal/harness"
+	"hbat/internal/runspan"
 )
+
+// renderSpan opens a "render" span (its own trace — rendering is
+// per-artifact, not per-run) on the options' engine tracer. Returns
+// nil, accepted by Span.End, when tracing is off.
+func renderSpan(ho harness.Options, artifact string) *runspan.Span {
+	if ho.Engine == nil || !ho.Engine.Spans.Enabled() {
+		return nil
+	}
+	tr := ho.Engine.Spans
+	return tr.Start(tr.NewTrace(), nil, "render").SetAttr("artifact", artifact)
+}
 
 // experiment is one registered evaluation artifact: how to run it as a
 // text report and, when it is a design-grid figure, how to produce the
@@ -27,8 +39,10 @@ type experiment struct {
 var experiments = []experiment{
 	{
 		name: "table2",
-		run: func(_ context.Context, _ harness.Options, w io.Writer) error {
+		run: func(_ context.Context, ho harness.Options, w io.Writer) error {
+			sp := renderSpan(ho, "table2")
 			harness.RenderTable2(w)
+			sp.End()
 			return nil
 		},
 	},
@@ -39,7 +53,9 @@ var experiments = []experiment{
 			if err != nil {
 				return err
 			}
+			sp := renderSpan(ho, "table3")
 			harness.RenderTable3(w, rows)
+			sp.End()
 			return nil
 		},
 	},
@@ -51,7 +67,9 @@ var experiments = []experiment{
 			if err != nil {
 				return err
 			}
+			sp := renderSpan(ho, "fig6")
 			harness.RenderFigure6(w, f)
+			sp.End()
 			return nil
 		},
 	},
@@ -65,7 +83,9 @@ var experiments = []experiment{
 			if err != nil {
 				return err
 			}
+			sp := renderSpan(ho, "model")
 			harness.RenderModelStudy(w, rows)
+			sp.End()
 			return nil
 		},
 	},
@@ -77,7 +97,9 @@ func (e experiment) renderFigure(ctx context.Context, ho harness.Options, w io.W
 	if err != nil {
 		return err
 	}
+	sp := renderSpan(ho, e.name)
 	harness.RenderFigure(w, f)
+	sp.End()
 	return nil
 }
 
@@ -161,7 +183,9 @@ func ExperimentCSVContext(ctx context.Context, name string, o ExperimentOptions,
 	if err != nil {
 		return err
 	}
+	sp := renderSpan(ho, e.name+".csv")
 	harness.FigureCSV(w, f)
+	sp.End()
 	return nil
 }
 

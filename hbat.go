@@ -23,6 +23,7 @@ import (
 	"hbat/internal/harness"
 	"hbat/internal/prog"
 	"hbat/internal/ptrace"
+	"hbat/internal/runspan"
 	"hbat/internal/stats"
 	"hbat/internal/tlb"
 	"hbat/internal/workload"
@@ -59,6 +60,27 @@ func SetCheckpointDir(dir string) { defaultEngine.CkptDir = dir }
 // re-simulating, reproducing the same artifacts byte-for-byte. Returns
 // the number of runs resumed. Call before the first simulation.
 func ResumeJournal(path string) (int, error) { return defaultEngine.SetJournal(path) }
+
+// SpanTracer records per-run phase spans (program build, checkpoint,
+// fast-forward, simulate, render, journal append) with cache and
+// singleflight visibility; see internal/runspan. A nil tracer is the
+// disabled tracer.
+type SpanTracer = runspan.Tracer
+
+// NewSpanTracer returns an enabled span tracer. Attach it with
+// SetSpanTracer (or Engine.Spans directly), stream its journal with
+// SpanTracer.OpenJournal, and export the merged Perfetto timeline
+// with SpanTracer.WritePerfettoFile.
+func NewSpanTracer() *SpanTracer { return runspan.New(runspan.Config{}) }
+
+// SetSpanTracer attaches a span tracer to the shared sweep engine:
+// every simulation driven through the facade emits one trace with a
+// span per phase. Call before the first simulation; nil detaches.
+func SetSpanTracer(t *SpanTracer) { defaultEngine.Spans = t }
+
+// Spans returns the shared sweep engine's span tracer (nil when
+// tracing is off).
+func Spans() *SpanTracer { return defaultEngine.Spans }
 
 // Manifest is the run-provenance record written alongside sweep
 // artifacts; see harness.Manifest.

@@ -17,6 +17,21 @@ func ctx0(ctx context.Context) context.Context {
 	return ctx
 }
 
+// FastForward performs the two-phase simulation's functional warm-up
+// (or checkpoint restore) ahead of the first simulated cycle. Run
+// calls it automatically; callers that want to time the warm-up
+// separately from the cycle loop (the harness's span tracer does)
+// may invoke it explicitly first — it is idempotent, and any error
+// it returns is sticky and re-reported by Run.
+func (m *Machine) FastForward() error {
+	if m.err == nil {
+		if err := m.maybeFastForward(); err != nil {
+			m.err = fmt.Errorf("cpu: fast-forward: %w", err)
+		}
+	}
+	return m.err
+}
+
 // maybeFastForward runs (or restores) the two-phase simulation's
 // functional warm-up. Called once at the top of Run: with
 // Config.FastForward set, the machine's architectural and warmed

@@ -311,14 +311,10 @@ func (m *Machine) tick() {
 // returns nil on a clean halt or on reaching the committed-instruction
 // budget, and the context's error when cancelled.
 func (m *Machine) Run() error {
-	if m.err == nil {
-		// Two-phase mode: functional fast-forward (or checkpoint
-		// restore) happens before the first simulated cycle. Run, not
-		// New, hosts it so SetCancel's context covers the warm-up too.
-		if err := m.maybeFastForward(); err != nil {
-			m.err = fmt.Errorf("cpu: fast-forward: %w", err)
-		}
-	}
+	// Two-phase mode: functional fast-forward (or checkpoint restore)
+	// happens before the first simulated cycle. Run, not New, hosts
+	// it so SetCancel's context covers the warm-up too.
+	m.FastForward()
 	for !m.halted && m.err == nil {
 		if m.cfg.MaxInsts > 0 && m.stats.Committed >= m.cfg.MaxInsts {
 			break

@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 
 	"hbat/internal/ckpt"
 	"hbat/internal/cpu"
 	"hbat/internal/prog"
+	"hbat/internal/runspan"
 	"hbat/internal/workload"
 )
 
@@ -48,8 +50,12 @@ func (k ckptKey) file(dir string) string {
 
 // checkpoint returns the warmed checkpoint for spec, building it at
 // most once per key (singleflight) and persisting it under CkptDir
-// when one is configured.
-func (e *Engine) checkpoint(ctx context.Context, spec RunSpec, p *prog.Program, cfg cpu.Config) (*ckpt.Checkpoint, error) {
+// when one is configured. sp, when non-nil, is the run's "checkpoint"
+// phase span: it gets a source attribute (memory / disk / build) and
+// child spans for singleflight waits, disk loads, and builds.
+func (e *Engine) checkpoint(ctx context.Context, spec RunSpec, p *prog.Program, cfg cpu.Config, sp *runspan.Span) (*ckpt.Checkpoint, error) {
+	tr := e.Spans
+	rt := sp.Trace()
 	key := ckptKey{
 		workload: spec.Workload,
 		budget:   spec.Budget,
@@ -64,7 +70,7 @@ func (e *Engine) checkpoint(ctx context.Context, spec RunSpec, p *prog.Program, 
 			ent = &ckptEntry{done: make(chan struct{})}
 			e.ckpts[key] = ent
 			e.mu.Unlock()
-			c, fromDisk, err := e.loadOrBuildCheckpoint(ctx, key, p, cfg)
+			c, fromDisk, err := e.loadOrBuildCheckpoint(ctx, key, p, cfg, sp)
 			if err != nil && isCancelErr(err) {
 				// Like a cancelled run: drop the entry so a later
 				// caller rebuilds, and wake waiters to retry.
@@ -77,23 +83,40 @@ func (e *Engine) checkpoint(ctx context.Context, spec RunSpec, p *prog.Program, 
 			}
 			if fromDisk {
 				e.ckptHits.Add(1)
+				sp.SetAttr("source", "disk")
 			} else {
 				e.ckptMisses.Add(1)
+				sp.SetAttr("source", "build")
 			}
 			ent.c, ent.err = c, err
 			close(ent.done)
 			return c, err
 		}
 		e.mu.Unlock()
+		// A wait on another run's in-flight warm-up is its own span —
+		// opened before the select so /debug/spans shows a stuck
+		// singleflight producer as a growing open-span age. A ready
+		// entry (done already closed) is a plain memory hit, no span.
+		var wsp *runspan.Span
+		if tr.Enabled() {
+			select {
+			case <-ent.done:
+			default:
+				wsp = tr.Start(rt, sp, "singleflight_wait")
+			}
+		}
 		select {
 		case <-ctx.Done():
+			wsp.End()
 			return nil, ctx.Err()
 		case <-ent.done:
 		}
+		wsp.End()
 		if isCancelErr(ent.err) {
 			continue // the producer was cancelled, not us: retry
 		}
 		e.ckptHits.Add(1)
+		sp.SetAttr("source", "memory")
 		return ent.c, ent.err
 	}
 }
@@ -103,16 +126,32 @@ func (e *Engine) checkpoint(ctx context.Context, spec RunSpec, p *prog.Program, 
 // functional warm-up (and persisting the result, best-effort). A
 // corrupt, truncated, or mismatched file is rebuilt and overwritten —
 // the checksum inside the codec makes the load failure explicit rather
-// than silent.
-func (e *Engine) loadOrBuildCheckpoint(ctx context.Context, key ckptKey, p *prog.Program, cfg cpu.Config) (c *ckpt.Checkpoint, fromDisk bool, err error) {
+// than silent. sp is the run's "checkpoint" phase span (may be nil).
+func (e *Engine) loadOrBuildCheckpoint(ctx context.Context, key ckptKey, p *prog.Program, cfg cpu.Config, sp *runspan.Span) (c *ckpt.Checkpoint, fromDisk bool, err error) {
+	tr := e.Spans
+	rt := sp.Trace()
 	path := ""
 	if e.CkptDir != "" {
 		path = key.file(e.CkptDir)
-		if c, err := ckpt.LoadFile(path); err == nil &&
-			c.PageSize == key.pageSize && c.FastForward == key.ffwd {
+		lsp := tr.Start(rt, sp, "ckpt_load")
+		c, lerr := ckpt.LoadFile(path)
+		ok := lerr == nil && c.PageSize == key.pageSize && c.FastForward == key.ffwd
+		if lsp != nil {
+			lsp.SetAttr("path", path).SetAttr("ok", strconv.FormatBool(ok)).End()
+		}
+		if ok {
 			return c, true, nil
 		}
 	}
+	engine := cfg.FFwdEngine
+	if engine == "" {
+		engine = ckpt.EngineTranslated
+	}
+	bsp := tr.Start(rt, sp, "ckpt_build")
+	if bsp != nil {
+		bsp.SetAttr("engine", engine)
+	}
+	sp.SetAttr("engine", engine)
 	c, err = ckpt.Build(ctx, p, ckpt.BuildConfig{
 		PageSize:    key.pageSize,
 		FastForward: key.ffwd,
@@ -121,6 +160,7 @@ func (e *Engine) loadOrBuildCheckpoint(ctx context.Context, key ckptKey, p *prog
 		Branch:      cfg.Branch,
 		Engine:      cfg.FFwdEngine,
 	})
+	bsp.End()
 	if err != nil {
 		return nil, false, err
 	}

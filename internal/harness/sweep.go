@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"hbat/internal/cpu"
 	"hbat/internal/prog"
 	"hbat/internal/ptrace"
+	"hbat/internal/runspan"
 	"hbat/internal/stats"
 	"hbat/internal/workload"
 )
@@ -72,6 +74,14 @@ type Engine struct {
 	// completion — the liveness signal the obs watchdog consumes. Set
 	// before first use.
 	Heartbeat func()
+
+	// Spans, when non-nil, receives one trace per run (and one per
+	// RunAll sweep) with a span per phase: program build, checkpoint
+	// load/build, fast-forward, simulate, journal append — cache hits
+	// and singleflight waits as distinct spans with hit/miss
+	// attributes. nil means disabled and costs nothing on the hot
+	// path. Set before first use.
+	Spans *runspan.Tracer
 
 	builds *workload.BuildCache
 
@@ -373,6 +383,10 @@ type RunRecord struct {
 	WallMs   float64 `json:"wall_ms"`
 	Cached   bool    `json:"cached"`
 	Error    string  `json:"error,omitempty"`
+	// PhaseMs breaks WallMs down by phase (program_build, checkpoint,
+	// fast_forward, simulate) when span tracing is enabled; nil
+	// otherwise.
+	PhaseMs map[string]float64 `json:"phase_ms,omitempty"`
 }
 
 // RunLog returns a copy of the engine's provenance log: every request
@@ -386,7 +400,7 @@ func (e *Engine) RunLog() []RunRecord {
 // record appends a provenance entry and folds an executed run's
 // metrics into the live aggregate. Completion doubles as a watchdog
 // heartbeat.
-func (e *Engine) record(id uint64, spec RunSpec, res *RunResult, cached bool) {
+func (e *Engine) record(id uint64, spec RunSpec, res *RunResult, cached bool, phases map[string]float64) {
 	e.heartbeat()
 	rec := RunRecord{
 		RunID:    id,
@@ -397,6 +411,7 @@ func (e *Engine) record(id uint64, spec RunSpec, res *RunResult, cached bool) {
 		Seed:     spec.Seed,
 		WallMs:   float64(res.Wall.Microseconds()) / 1e3,
 		Cached:   cached,
+		PhaseMs:  phases,
 	}
 	if res.Err != nil {
 		rec.Error = res.Err.Error()
@@ -427,14 +442,22 @@ func (e *Engine) runLogger(id uint64, spec RunSpec) *slog.Logger {
 // buildProgram resolves a spec's program, through the build cache
 // unless disabled.
 func (e *Engine) buildProgram(spec RunSpec) (*prog.Program, error) {
+	p, _, err := e.buildProgramObserved(spec)
+	return p, err
+}
+
+// buildProgramObserved is buildProgram plus the cache disposition
+// (fresh build / ready hit / singleflight wait) for the span tracer.
+func (e *Engine) buildProgramObserved(spec RunSpec) (*prog.Program, workload.BuildOutcome, error) {
 	if e.NoBuildCache {
 		w, err := workload.ByName(spec.Workload)
 		if err != nil {
-			return nil, err
+			return nil, workload.BuildOutcome{}, err
 		}
-		return w.Build(spec.Budget, spec.Scale)
+		p, err := w.Build(spec.Budget, spec.Scale)
+		return p, workload.BuildOutcome{}, err
 	}
-	return e.builds.Build(spec.Workload, spec.Budget, spec.Scale)
+	return e.builds.BuildObserved(spec.Workload, spec.Budget, spec.Scale)
 }
 
 // PrewarmBuilds builds every unique program named by specs into the
@@ -473,7 +496,8 @@ func (e *Engine) Run(ctx context.Context, spec RunSpec) RunResult {
 	}
 	e.heartbeat()
 	if e.NoMemo || !spec.cacheable() {
-		return e.execute(ctx, spec)
+		res, _ := e.execute(ctx, spec)
+		return res
 	}
 	key := spec.key()
 	for {
@@ -493,7 +517,7 @@ func (e *Engine) Run(ctx context.Context, spec RunSpec) RunResult {
 			ent = &memoEntry{done: make(chan struct{})}
 			e.memo[key] = ent
 			e.mu.Unlock()
-			res := e.execute(ctx, spec)
+			res, root := e.execute(ctx, spec)
 			if isCancelErr(res.Err) {
 				// Never memoize a cancelled run: drop the entry so a
 				// later caller re-executes, and wake any waiters (they
@@ -506,12 +530,15 @@ func (e *Engine) Run(ctx context.Context, spec RunSpec) RunResult {
 				return res
 			}
 			e.specMisses.Add(1)
+			jsp := e.Spans.Start(root.Trace(), root, "journal_append")
 			e.journal.append(spec, &res)
+			jsp.End()
 			ent.res = res
 			close(ent.done)
 			return res
 		}
 		e.mu.Unlock()
+		waitMark := e.Spans.Now()
 		select {
 		case <-ctx.Done():
 			return RunResult{Spec: spec, Err: ctx.Err()}
@@ -526,7 +553,21 @@ func (e *Engine) Run(ctx context.Context, spec RunSpec) RunResult {
 		res.Cached = true
 		res.Wall = 0
 		id := e.runSeq.Add(1)
-		e.record(id, spec, &res, true)
+		if tr := e.Spans; tr.Enabled() {
+			// Memo hits get a minimal trace of their own: a root span
+			// covering the (usually zero) wait on the producer, so hit
+			// traffic is visible on the timeline next to real runs.
+			rt := tr.NewTrace()
+			hroot := tr.StartAt(rt, nil, "run", waitMark).
+				SetAttr("workload", spec.Workload).
+				SetAttr("design", spec.Design).
+				SetAttr("spec_hash", spec.Hash()).
+				SetAttr("run_id", strconv.FormatUint(id, 10)).
+				SetAttr("cache", "hit")
+			tr.StartAt(rt, hroot, "memo_wait", waitMark).End()
+			hroot.End()
+		}
+		e.record(id, spec, &res, true, nil)
 		if lg := e.runLogger(id, spec); lg != nil {
 			lg.Info("run finished", "wall_ms", 0.0, "cache", "hit")
 		}
@@ -539,11 +580,39 @@ func isCancelErr(err error) bool {
 }
 
 // execute performs the simulation (no memoization), recording wall time
-// and updating scheduling estimates.
-func (e *Engine) execute(ctx context.Context, spec RunSpec) RunResult {
+// and updating scheduling estimates. When span tracing is on it also
+// returns the run's (already ended) root span so the caller can hang
+// post-run phases — the resume-journal append — off the same trace;
+// with tracing off the returned span is nil.
+func (e *Engine) execute(ctx context.Context, spec RunSpec) (RunResult, *runspan.Span) {
 	start := time.Now()
 	id := e.runSeq.Add(1)
 	lg := e.runLogger(id, spec)
+	tr := e.Spans
+	var (
+		rt     runspan.TraceID
+		root   *runspan.Span
+		phases map[string]float64
+	)
+	if tr.Enabled() {
+		rt = tr.NewTrace()
+		root = tr.Start(rt, nil, "run").
+			SetAttr("workload", spec.Workload).
+			SetAttr("design", spec.Design).
+			SetAttr("spec_hash", spec.Hash()).
+			SetAttr("run_id", strconv.FormatUint(id, 10))
+		phases = make(map[string]float64, 4)
+		if lg != nil {
+			lg = lg.With("trace_id", uint64(rt), "span_id", root.ID())
+		}
+	}
+	// endPhase closes a phase span and folds its wall time into the
+	// manifest's per-phase breakdown. Nil-safe (disabled tracer).
+	endPhase := func(sp *runspan.Span, name string) {
+		if sp != nil {
+			phases[name] = sp.End().Seconds() * 1e3
+		}
+	}
 	if lg != nil {
 		lg.Debug("run start")
 	}
@@ -551,7 +620,13 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec) RunResult {
 	defer e.active.Add(-1)
 	res := RunResult{Spec: spec}
 	defer func() {
-		e.record(id, spec, &res, false)
+		if root != nil {
+			if res.Err != nil {
+				root.SetAttr("error", res.Err.Error())
+			}
+			root.End()
+		}
+		e.record(id, spec, &res, false, phases)
 		if lg != nil {
 			switch {
 			case res.Err != nil:
@@ -561,10 +636,25 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec) RunResult {
 			}
 		}
 	}()
-	p, err := e.buildProgram(spec)
+	bsp := tr.Start(rt, root, "program_build")
+	bmark := tr.Now()
+	p, bout, err := e.buildProgramObserved(spec)
+	if bsp != nil {
+		if bout.Hit {
+			bsp.SetAttr("cache", "hit")
+		} else {
+			bsp.SetAttr("cache", "miss")
+		}
+		if bout.Waited {
+			// The hit blocked on another goroutine's in-flight build:
+			// surface the wait as its own span.
+			tr.StartAt(rt, bsp, "singleflight_wait", bmark).End()
+		}
+		endPhase(bsp, "program_build")
+	}
 	if err != nil {
 		res.Err = err
-		return res
+		return res, root
 	}
 	cfg := cpu.DefaultConfig()
 	cfg.PageSize = spec.PageSize
@@ -581,14 +671,16 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec) RunResult {
 		// One warmed checkpoint per (workload, budget, scale, page
 		// size, N) serves every design in the grid; the machine then
 		// restores it instead of re-running the functional phase.
-		c, cerr := e.checkpoint(ctx, spec, p, cfg)
+		csp := tr.Start(rt, root, "checkpoint")
+		c, cerr := e.checkpoint(ctx, spec, p, cfg, csp)
+		endPhase(csp, "checkpoint")
 		if cerr != nil {
 			if isCancelErr(cerr) {
 				res.Err = cerr
 			} else {
 				res.Err = fmt.Errorf("%s: checkpoint: %w", spec, cerr)
 			}
-			return res
+			return res, root
 		}
 		cfg.FastForward = spec.FastForward
 		cfg.Checkpoint = c
@@ -596,7 +688,7 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec) RunResult {
 	m, err := cpu.NewWithDesign(p, cfg, spec.Design)
 	if err != nil {
 		res.Err = err
-		return res
+		return res, root
 	}
 	m.SetCancel(ctx)
 	if spec.Trace != nil {
@@ -620,7 +712,18 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec) RunResult {
 			}
 		})
 	}
+	if spec.FastForward > 0 {
+		// Run would fast-forward implicitly; doing it explicitly here
+		// separates warm-up time from cycle-simulation time.
+		fsp := tr.Start(rt, root, "fast_forward")
+		m.FastForward()
+		endPhase(fsp, "fast_forward")
+	}
+	ssp := tr.Start(rt, root, "simulate")
 	err = m.Run()
+	if ssp != nil {
+		ssp.SetAttr("committed", strconv.FormatUint(m.Stats().Committed, 10))
+	}
 	res.Stats = *m.Stats()
 	res.TLB = *m.DTLB.Stats()
 	res.Metrics = m.Metrics().Snapshot()
@@ -636,7 +739,15 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec) RunResult {
 	default:
 		e.observe(spec, res.Wall)
 	}
-	return res
+	if ssp != nil {
+		endPhase(ssp, "simulate")
+		if res.Trace != nil {
+			// Merge this run's micro pipeline events under its macro
+			// simulate span on the exported timeline.
+			tr.AttachMicro(ssp, spec.String(), res.Trace)
+		}
+	}
+	return res, root
 }
 
 // Progress is one scheduler update, delivered after each completed (or
@@ -691,6 +802,18 @@ func (e *Engine) RunAll(ctx context.Context, specs []RunSpec, parallelism int, p
 	if e.Logger != nil {
 		e.Logger.Info("sweep start", "runs", len(specs), "parallelism", parallelism)
 	}
+	tr := e.Spans
+	var (
+		sweepTrace runspan.TraceID
+		sweepSpan  *runspan.Span
+	)
+	sweepMark := tr.Now()
+	if tr.Enabled() {
+		sweepTrace = tr.NewTrace()
+		sweepSpan = tr.Start(sweepTrace, nil, "sweep").
+			SetAttr("runs", strconv.Itoa(len(specs))).
+			SetAttr("parallelism", strconv.Itoa(parallelism))
+	}
 	var (
 		mu       sync.Mutex
 		done     int
@@ -707,6 +830,12 @@ func (e *Engine) RunAll(ctx context.Context, specs []RunSpec, parallelism int, p
 			}
 			i := order[n]
 			e.queued.Add(-1)
+			if tr.Enabled() {
+				// The scheduling gap: how long this spec sat queued
+				// (sweep start to dispatch) before a worker picked it up.
+				tr.StartAt(sweepTrace, sweepSpan, "sched_gap", sweepMark).
+					SetAttr("spec", specs[i].String()).End()
+			}
 			if err := ctx.Err(); err != nil {
 				// Cancelled: stop dispatching; mark without running.
 				results[i] = RunResult{Spec: specs[i], Err: err}
@@ -737,6 +866,12 @@ func (e *Engine) RunAll(ctx context.Context, specs []RunSpec, parallelism int, p
 		go worker()
 	}
 	wg.Wait()
+	if sweepSpan != nil {
+		if ctx.Err() != nil {
+			sweepSpan.SetAttr("cancelled", "true")
+		}
+		sweepSpan.End()
+	}
 	if e.Logger != nil {
 		e.Logger.Info("sweep done", "runs", len(specs),
 			"elapsed_ms", float64(time.Since(start).Microseconds())/1e3,

@@ -10,25 +10,35 @@ import (
 	"time"
 
 	"hbat/internal/harness"
+	"hbat/internal/runspan"
 )
 
 // Flags is the shared observability flag set every cmd/hbat* binary
-// registers: -obs, -log-level, -log-format, and -obs-watchdog.
+// registers: -obs, -log-level, -log-format, -obs-watchdog, -spans,
+// and -spans-out.
 type Flags struct {
 	Addr     string
 	LogLevel string
 	Format   string
 	Watchdog time.Duration
+	Spans    bool
+	SpansOut string
+
+	// tracer is the span tracer Setup created for -spans; FinishSpans
+	// exports and closes it.
+	tracer *runspan.Tracer
 }
 
 // AddFlags registers the observability flags on fs and returns the
 // struct they populate.
 func AddFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
-	fs.StringVar(&f.Addr, "obs", "", "serve /metrics, /health, /ready, and /debug/pprof on this address (e.g. :8090; empty = off)")
+	fs.StringVar(&f.Addr, "obs", "", "serve /metrics, /health, /ready, /debug/spans, and /debug/pprof on this address (e.g. :8090; empty = off)")
 	fs.StringVar(&f.LogLevel, "log-level", "info", "log verbosity: debug, info, warn, or error")
 	fs.StringVar(&f.Format, "log-format", "text", "log encoding: text or json")
 	fs.DurationVar(&f.Watchdog, "obs-watchdog", 2*time.Minute, "report unhealthy when a sweep makes no progress for this long (0 = never)")
+	fs.BoolVar(&f.Spans, "spans", false, "record per-run phase spans (build/checkpoint/fast-forward/simulate, cache + singleflight visibility)")
+	fs.StringVar(&f.SpansOut, "spans-out", "spans", "span output path prefix: <prefix>.jsonl journal (streamed) and <prefix>.perfetto.json merged timeline (on exit; needs -spans)")
 	return f
 }
 
@@ -62,9 +72,13 @@ func (f *Flags) NewLogger(w io.Writer) (*slog.Logger, error) {
 // observability server bound to the engine: the logger becomes the
 // engine's run logger, the progress watchdog becomes its heartbeat,
 // and ctx cancellation flips the engine to draining so /ready reports
-// it. With -obs unset no listener is opened and no goroutine started;
-// only the logger is returned. logw receives log output (typically
-// os.Stderr). Callers must Close the returned server when non-nil.
+// it. With -spans set a span tracer is created, attached to the
+// engine (and to /debug/spans when the server runs), and its journal
+// opened at <SpansOut>.jsonl; call FinishSpans before exit to export
+// the merged Perfetto timeline. With -obs unset no listener is opened
+// and no goroutine started; only the logger is returned. logw
+// receives log output (typically os.Stderr). Callers must Close the
+// returned server when non-nil.
 func (f *Flags) Setup(ctx context.Context, logw io.Writer, engine *harness.Engine) (*slog.Logger, *Server, error) {
 	logger, err := f.NewLogger(logw)
 	if err != nil {
@@ -72,6 +86,16 @@ func (f *Flags) Setup(ctx context.Context, logw io.Writer, engine *harness.Engin
 	}
 	if engine != nil {
 		engine.Logger = logger
+	}
+	if f.Spans {
+		tr := runspan.New(runspan.Config{})
+		if err := tr.OpenJournal(f.SpansOut + ".jsonl"); err != nil {
+			return nil, nil, err
+		}
+		f.tracer = tr
+		if engine != nil {
+			engine.Spans = tr
+		}
 	}
 	if f.Addr == "" {
 		return logger, nil, nil
@@ -87,6 +111,7 @@ func (f *Flags) Setup(ctx context.Context, logw io.Writer, engine *harness.Engin
 		Addr:     f.Addr,
 		Engine:   engine,
 		Watchdog: wd,
+		Spans:    f.tracer,
 		Logger:   logger,
 	})
 	if err != nil {
@@ -100,4 +125,27 @@ func (f *Flags) Setup(ctx context.Context, logw io.Writer, engine *harness.Engin
 	}
 	logger.Info("observability server listening", "addr", srv.Addr())
 	return logger, srv, nil
+}
+
+// Tracer returns the span tracer Setup created for -spans (nil when
+// span tracing is off).
+func (f *Flags) Tracer() *runspan.Tracer { return f.tracer }
+
+// FinishSpans ends a -spans session: it writes the merged Perfetto
+// timeline to <SpansOut>.perfetto.json and closes the streamed
+// journal, returning the timeline path (empty when tracing was off).
+// Journal write errors accumulated during the run surface here.
+func (f *Flags) FinishSpans() (string, error) {
+	tr := f.tracer
+	if !tr.Enabled() {
+		return "", nil
+	}
+	f.tracer = nil
+	path := f.SpansOut + ".perfetto.json"
+	werr := tr.WritePerfettoFile(path)
+	cerr := tr.CloseJournal()
+	if werr != nil {
+		return "", werr
+	}
+	return path, cerr
 }

@@ -14,6 +14,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"hbat/internal/harness"
+	"hbat/internal/runspan"
 )
 
 // Config wires a Server to its data sources. Every field is optional
@@ -34,6 +36,9 @@ type Config struct {
 	// cache counters and hit ratios, ETA, the merged per-run metrics
 	// registry, and per-workload wall-time histograms.
 	Engine *harness.Engine
+	// Spans, when non-nil, serves the live span view at /debug/spans:
+	// currently open spans with their ages plus the recent-span ring.
+	Spans *runspan.Tracer
 	// Watchdog, when non-nil, drives /health and the
 	// obs_last_progress_age_seconds metric.
 	Watchdog *Watchdog
@@ -83,6 +88,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/health", s.handleHealth)
 	mux.HandleFunc("/ready", s.handleReady)
+	mux.HandleFunc("/debug/spans", s.handleSpans)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -109,6 +115,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /metrics      Prometheus text exposition (sweep + run metrics)
   /health       liveness (progress watchdog)
   /ready        readiness (engine accepting work)
+  /debug/spans  live span view (open spans with ages + recent ring)
   /debug/pprof  Go profiler
 `)
 }
@@ -207,6 +214,15 @@ func (s *Server) families() []Family {
 	return fams
 }
 
+// WriteSnapshot writes one scrape's worth of exposition for cfg
+// without starting a server — what /metrics would serve right now.
+// Used by promcheck -static to validate the full metrics pipeline
+// (engine aggregates through text exposition) in-process.
+func WriteSnapshot(w io.Writer, cfg Config) error {
+	s := &Server{cfg: cfg, start: time.Now()}
+	return WriteExposition(w, s.families())
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.scrapes.Add(1)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -253,6 +269,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, h)
+}
+
+// handleSpans serves the live span view: every currently open span
+// with its age (a stuck singleflight build shows up as a growing
+// age), plus the ring of recently finished spans. 404 without a span
+// tracer, mirroring how span tracing is strictly opt-in.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	tr := s.cfg.Spans
+	if !tr.Enabled() {
+		http.Error(w, "span tracing off (run with -spans)", http.StatusNotFound)
+		return
+	}
+	type spans struct {
+		Open   []runspan.OpenSpan `json:"open"`
+		Recent []runspan.SpanData `json:"recent"`
+	}
+	writeJSON(w, http.StatusOK, spans{Open: tr.Open(), Recent: tr.Recent()})
 }
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {

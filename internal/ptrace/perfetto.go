@@ -8,10 +8,13 @@ import (
 	"sort"
 )
 
-// Perfetto/Chrome trace-event track layout. Process 0 holds one thread
-// per pipeline stage (instruction lifetimes render as duration slices
-// per stage); process 1 holds the translation and data-cache event
-// tracks (misses, port conflicts, and page-table-walk spans).
+// Perfetto/Chrome trace-event track layout for a standalone export.
+// The pipeline process holds one thread per pipeline stage
+// (instruction lifetimes render as duration slices per stage); the
+// memory process holds the translation and data-cache event tracks
+// (misses, port conflicts, and page-table-walk spans). When a
+// recorder is merged into a sweep-wide timeline (runspan), the caller
+// assigns fresh pids per run instead.
 const (
 	pidPipeline = 0
 	pidMemory   = 1
@@ -34,19 +37,70 @@ func jstr(s string) string {
 	return string(b)
 }
 
-// span emits one complete ("X") duration event.
-func span(w io.Writer, pid, tid int, ts, dur int64, name string, args string) {
+// PerfettoWriter incrementally emits one Chrome/Perfetto trace-event
+// JSON document: NewPerfettoWriter writes the prologue, the event
+// methods append events (handling the comma discipline), and Close
+// writes the epilogue and flushes. It exists so several producers —
+// a macro span tracer and any number of per-run micro recorders —
+// can share one timeline file; Recorder.AppendPerfetto and the
+// runspan package both build on it.
+type PerfettoWriter struct {
+	bw *bufio.Writer
+	n  int // events written; the first gets no leading comma
+}
+
+// NewPerfettoWriter starts a trace-event document on w.
+func NewPerfettoWriter(w io.Writer) *PerfettoWriter {
+	pw := &PerfettoWriter{bw: bufio.NewWriterSize(w, 64<<10)}
+	fmt.Fprint(pw.bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	return pw
+}
+
+// sep writes the inter-event separator (nothing before the first
+// event, ",\n" before every later one).
+func (p *PerfettoWriter) sep() {
+	if p.n > 0 {
+		p.bw.WriteString(",\n")
+	}
+	p.n++
+}
+
+// ProcessName emits process_name metadata for pid.
+func (p *PerfettoWriter) ProcessName(pid int, name string) {
+	p.sep()
+	fmt.Fprintf(p.bw, "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":%s}}", pid, jstr(name))
+}
+
+// ThreadName emits thread_name metadata for (pid, tid).
+func (p *PerfettoWriter) ThreadName(pid, tid int, name string) {
+	p.sep()
+	fmt.Fprintf(p.bw, "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}",
+		pid, tid, jstr(name))
+}
+
+// Slice emits one complete ("X") duration event. args is the raw
+// inner body of the args object (may be empty). Durations are
+// clamped to at least 1 so zero-length slices stay visible.
+func (p *PerfettoWriter) Slice(pid, tid int, ts, dur int64, name string, args string) {
 	if dur < 1 {
 		dur = 1
 	}
-	fmt.Fprintf(w, ",\n{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":%s,\"args\":{%s}}",
+	p.sep()
+	fmt.Fprintf(p.bw, "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":%s,\"args\":{%s}}",
 		pid, tid, ts, dur, jstr(name), args)
 }
 
-// instant emits one instant ("i") event (thread scope).
-func instant(w io.Writer, pid, tid int, ts int64, name string, args string) {
-	fmt.Fprintf(w, ",\n{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"name\":%s,\"args\":{%s}}",
+// Instant emits one instant ("i") event (thread scope).
+func (p *PerfettoWriter) Instant(pid, tid int, ts int64, name string, args string) {
+	p.sep()
+	fmt.Fprintf(p.bw, "{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"name\":%s,\"args\":{%s}}",
 		pid, tid, ts, jstr(name), args)
+}
+
+// Close terminates the document and flushes.
+func (p *PerfettoWriter) Close() error {
+	fmt.Fprint(p.bw, "\n]}\n")
+	return p.bw.Flush()
 }
 
 // WritePerfetto exports the recorded events as Chrome/Perfetto
@@ -61,28 +115,36 @@ func instant(w io.Writer, pid, tid int, ts int64, name string, args string) {
 // Translation and cache events render as instants (misses, port
 // rejections) and spans (page-table walks) on their own tracks.
 func (r *Recorder) WritePerfetto(w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 64<<10)
+	pw := NewPerfettoWriter(w)
+	r.AppendPerfetto(pw, pidPipeline, pidMemory, 0, "pipeline", "translation+memory")
+	return pw.Close()
+}
+
+// AppendPerfetto merges this recorder's events into an open
+// PerfettoWriter as two processes (pipeline stages and
+// translation+memory tracks) named pipeName and memName. Every
+// timestamp is shifted by tsOffset microseconds, which is how a
+// run's cycle-0 micro events are nested under that run's macro span
+// on a sweep-wide timeline.
+func (r *Recorder) AppendPerfetto(pw *PerfettoWriter, pidPipe, pidMem int, tsOffset int64, pipeName, memName string) {
 	events := r.Events()
 	lives, _, maxCycle := lifetimes(events)
 
-	fmt.Fprint(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
-	// Track metadata. The first event has no leading comma.
-	fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":\"pipeline\"}}", pidPipeline)
+	pw.ProcessName(pidPipe, pipeName)
 	for _, t := range []struct {
-		pid, tid int
-		name     string
+		tid  int
+		name string
 	}{
-		{pidPipeline, tidFetch, "fetch"},
-		{pidPipeline, tidDispatch, "dispatch"},
-		{pidPipeline, tidExecute, "execute"},
-		{pidPipeline, tidCommit, "commit"},
-		{pidMemory, tidTLB, "tlb"},
-		{pidMemory, tidDCache, "dcache"},
+		{tidFetch, "fetch"},
+		{tidDispatch, "dispatch"},
+		{tidExecute, "execute"},
+		{tidCommit, "commit"},
 	} {
-		fmt.Fprintf(bw, ",\n{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}",
-			t.pid, t.tid, jstr(t.name))
+		pw.ThreadName(pidPipe, t.tid, t.name)
 	}
-	fmt.Fprintf(bw, ",\n{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":\"translation+memory\"}}", pidMemory)
+	pw.ProcessName(pidMem, memName)
+	pw.ThreadName(pidMem, tidTLB, "tlb")
+	pw.ThreadName(pidMem, tidDCache, "dcache")
 
 	// Per-instruction stage slices.
 	for _, l := range lives {
@@ -120,7 +182,7 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 			if stop < s.start {
 				stop = s.start + 1
 			}
-			span(bw, pidPipeline, s.tid, s.start, stop-s.start, name, args)
+			pw.Slice(pidPipe, s.tid, tsOffset+s.start, stop-s.start, name, args)
 		}
 	}
 
@@ -132,7 +194,7 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 		args := fmt.Sprintf("\"seq\":%d,\"pc\":\"0x%x\"", ev.Seq, ev.PC)
 		switch ev.Kind {
 		case KTLBMiss, KTLBNoPort, KITLBMiss:
-			instant(bw, pidMemory, tidTLB, ev.Cycle, ev.Kind.String(), args)
+			pw.Instant(pidMem, tidTLB, tsOffset+ev.Cycle, ev.Kind.String(), args)
 		case KWalkStart:
 			walkStart[ev.Seq] = ev.Cycle
 		case KWalkEnd:
@@ -141,10 +203,10 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 				start = ev.Cycle - ev.Arg
 			}
 			delete(walkStart, ev.Seq)
-			span(bw, pidMemory, tidTLB, start, ev.Cycle-start,
+			pw.Slice(pidMem, tidTLB, tsOffset+start, ev.Cycle-start,
 				fmt.Sprintf("walk 0x%x", ev.PC), args)
 		case KDCacheMiss, KDCachePort:
-			instant(bw, pidMemory, tidDCache, ev.Cycle, ev.Kind.String(), args)
+			pw.Instant(pidMem, tidDCache, tsOffset+ev.Cycle, ev.Kind.String(), args)
 		}
 	}
 	// Walks still in flight at the window's end, in seq order so the
@@ -156,12 +218,9 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
 	for _, seq := range pending {
 		start := walkStart[seq]
-		span(bw, pidMemory, tidTLB, start, maxCycle+1-start, "walk (in flight)",
+		pw.Slice(pidMem, tidTLB, tsOffset+start, maxCycle+1-start, "walk (in flight)",
 			fmt.Sprintf("\"seq\":%d", seq))
 	}
-
-	fmt.Fprint(bw, "\n]}\n")
-	return bw.Flush()
 }
 
 // firstAtOrAfter returns next if it is known (>= 0), else fallback.

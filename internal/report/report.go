@@ -173,6 +173,12 @@ func Generate(ctx context.Context, w io.Writer, opts harness.Options, figures []
 	}
 	data.Model = model
 
+	// The HTML render gets its own span (rendering is per-artifact,
+	// not per-run) on the engine's tracer when one is attached.
+	if tr := opts.Engine.Spans; tr.Enabled() {
+		sp := tr.Start(tr.NewTrace(), nil, "render").SetAttr("artifact", "report.html")
+		defer sp.End()
+	}
 	return pageTemplate.Execute(w, &data)
 }
 

@@ -1,0 +1,151 @@
+package runspan
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"hbat/internal/ptrace"
+)
+
+// Perfetto track layout for a merged sweep timeline. The macro
+// process holds one thread per trace (the sweep trace plus one per
+// run), with each phase span as a duration slice in wall-clock
+// microseconds. Every attached ptrace recorder then gets its own
+// pair of processes (pipeline + memory, exactly the standalone
+// ptrace layout) whose events are shifted so cycle 0 lands at the
+// anchoring macro span's start — a run's micro pipeline events nest
+// under that run's simulate span on the same timeline.
+const (
+	pidMacro     = 0
+	microPidBase = 1000
+)
+
+// jargs renders a span's identity and attributes as the inner body
+// of a trace-event args object, attribute keys sorted for stable
+// output.
+func jargs(d SpanData) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\"trace\":%d,\"span\":%d", d.Trace, d.Span)
+	keys := make([]string, 0, len(d.Attrs))
+	for k := range d.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, ",%s:%s", jstr(k), jstr(d.Attrs[k]))
+	}
+	return b.String()
+}
+
+// jstr renders s as a JSON string literal.
+func jstr(s string) string {
+	b := make([]byte, 0, len(s)+2)
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, []byte(fmt.Sprintf("\\u%04x", c))...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return string(append(b, '"'))
+}
+
+// threadLabel names a trace's macro track after its root span.
+func threadLabel(root SpanData) string {
+	label := fmt.Sprintf("%s #%d", root.Name, root.Trace)
+	if w, ok := root.Attrs["workload"]; ok {
+		if d, ok := root.Attrs["design"]; ok {
+			label = fmt.Sprintf("%s %s/%s #%d", root.Name, w, d, root.Trace)
+		}
+	}
+	return label
+}
+
+// WritePerfetto exports every finished span — and every attached
+// micro recorder — as one Chrome/Perfetto trace-event JSON document.
+// Macro timestamps are wall-clock microseconds since the tracer's
+// epoch; micro (ptrace) events keep their 1-cycle-=-1-µs scale,
+// offset to their anchor span's start.
+func (t *Tracer) WritePerfetto(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]SpanData, len(t.done))
+	copy(spans, t.done)
+	micro := make([]microTrack, len(t.micro))
+	copy(micro, t.micro)
+	t.mu.Unlock()
+
+	// Stable order: by trace, then start, then span id.
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Trace != b.Trace {
+			return a.Trace < b.Trace
+		}
+		if a.StartUS != b.StartUS {
+			return a.StartUS < b.StartUS
+		}
+		return a.Span < b.Span
+	})
+
+	pw := ptrace.NewPerfettoWriter(w)
+	pw.ProcessName(pidMacro, "sweep (macro, wall µs)")
+	// One macro thread per trace, named after its root span.
+	var traces []TraceID
+	roots := make(map[TraceID]SpanData)
+	for _, d := range spans {
+		if _, ok := roots[d.Trace]; !ok {
+			traces = append(traces, d.Trace)
+		}
+		if d.Parent == 0 {
+			if r, ok := roots[d.Trace]; !ok || d.Span < r.Span {
+				roots[d.Trace] = d
+			}
+		}
+	}
+	for _, id := range traces {
+		root, ok := roots[id]
+		if !ok {
+			root = SpanData{Trace: id, Name: "trace"}
+		}
+		pw.ThreadName(pidMacro, int(id), threadLabel(root))
+	}
+	for _, d := range spans {
+		pw.Slice(pidMacro, int(d.Trace), d.StartUS, d.DurUS, d.Name, jargs(d))
+	}
+
+	// Micro timelines: a process pair per attachment, time-shifted to
+	// the anchor span's start.
+	for i, m := range micro {
+		pipe := microPidBase + 2*i
+		m.rec.AppendPerfetto(pw, pipe, pipe+1, m.startUS,
+			fmt.Sprintf("run #%d %s pipeline (1 cycle = 1 µs)", m.trace, m.label),
+			fmt.Sprintf("run #%d %s translation+memory", m.trace, m.label))
+	}
+	return pw.Close()
+}
+
+// WritePerfettoFile writes the merged timeline to path.
+func (t *Tracer) WritePerfettoFile(path string) error {
+	if t == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WritePerfetto(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,341 @@
+// Package runspan is a lightweight span tracer for the sweep harness:
+// one trace per RunSpec (plus one for the sweep itself), parent/child
+// spans for each phase (program build, checkpoint, fast-forward,
+// simulate, render, journal append), string attributes, and monotonic
+// timestamps measured from a single per-tracer epoch.
+//
+// Like ptrace.Recorder, a nil *Tracer is the disabled tracer: every
+// method on a nil Tracer (and on the nil *Span they return) is a safe
+// no-op that allocates nothing, so call sites can stay unconditional
+// on the hot path. Attribute values that must be formatted (strconv,
+// fmt) should still be guarded by Enabled() so the formatting itself
+// is skipped when tracing is off.
+//
+// Finished spans are exported three ways: a crash-safe JSON-lines
+// journal written as spans end (see journal.go), a Chrome/Perfetto
+// trace JSON of the whole sweep with attached ptrace micro timelines
+// nested under their run's macro span (see perfetto.go), and a live
+// view (Open/Recent) served by the obs server at /debug/spans.
+package runspan
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"hbat/internal/ptrace"
+)
+
+// TraceID identifies one trace: all spans of one run (or one sweep)
+// share a TraceID. IDs are sequential per Tracer, starting at 1.
+type TraceID uint64
+
+// SpanData is one finished span, exactly as journaled. Attrs is a
+// plain string map; encoding/json sorts map keys, so a SpanData
+// marshals to deterministic bytes.
+type SpanData struct {
+	Trace   TraceID           `json:"trace"`
+	Span    uint64            `json:"span"`
+	Parent  uint64            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// OpenSpan is a still-running span as reported by Open: its identity
+// plus its age at the time of the snapshot.
+type OpenSpan struct {
+	Trace   TraceID           `json:"trace"`
+	Span    uint64            `json:"span"`
+	Parent  uint64            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	AgeUS   int64             `json:"age_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Span is an in-flight span. Spans are created by Tracer.Start and
+// finished exactly once by End; SetAttr may be called between the
+// two. A nil Span (from a nil Tracer) accepts every call as a no-op.
+type Span struct {
+	t    *Tracer
+	data SpanData
+}
+
+// Config tunes a Tracer. The zero value is usable.
+type Config struct {
+	// RecentCap bounds the finished-span ring served by Recent
+	// (default 256).
+	RecentCap int
+	// Now overrides the monotonic clock: elapsed time since the
+	// tracer's epoch. Tests use it for deterministic timestamps.
+	Now func() time.Duration
+	// Epoch overrides the wall-clock epoch stamped into the journal
+	// header. Zero means time.Now() at New.
+	Epoch time.Time
+}
+
+// microTrack is one ptrace recorder attached to a finished macro
+// span; it becomes its own Perfetto process offset to the span start.
+type microTrack struct {
+	label   string
+	trace   TraceID
+	startUS int64
+	rec     *ptrace.Recorder
+}
+
+// Tracer records spans. Create with New; share freely across
+// goroutines. The zero value is NOT valid — but a nil *Tracer is, and
+// means "disabled".
+type Tracer struct {
+	epoch time.Time
+	now   func() time.Duration
+
+	mu      sync.Mutex
+	spanSeq uint64
+	trcSeq  uint64
+	open    map[uint64]*Span
+	done    []SpanData // every finished span, for export
+	recent  []SpanData // ring of the last RecentCap finished spans
+	recentN int        // next ring slot
+	recCap  int
+	micro   []microTrack
+
+	journal *journalWriter
+}
+
+// New creates an enabled Tracer.
+func New(cfg Config) *Tracer {
+	t := &Tracer{
+		epoch:  cfg.Epoch,
+		now:    cfg.Now,
+		open:   make(map[uint64]*Span),
+		recCap: cfg.RecentCap,
+	}
+	if t.epoch.IsZero() {
+		t.epoch = time.Now()
+	}
+	if t.now == nil {
+		epoch := time.Now()
+		t.now = func() time.Duration { return time.Since(epoch) }
+	}
+	if t.recCap <= 0 {
+		t.recCap = 256
+	}
+	return t
+}
+
+// Enabled reports whether spans are being recorded. It is the guard
+// call sites use before formatting attribute values.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Now returns the monotonic offset since the tracer's epoch, or 0
+// when disabled. Use it to capture a start time for a later StartAt.
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.now()
+}
+
+// NewTrace allocates a fresh trace ID (0 when disabled).
+func (t *Tracer) NewTrace() TraceID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	t.trcSeq++
+	id := TraceID(t.trcSeq)
+	t.mu.Unlock()
+	return id
+}
+
+// Start opens a span under parent (nil parent = trace root) starting
+// now. Returns nil when disabled.
+func (t *Tracer) Start(trace TraceID, parent *Span, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.startAt(trace, parent, name, t.now())
+}
+
+// StartAt opens a span whose start is a previously captured Now()
+// value — used for retroactive spans such as singleflight waits and
+// scheduling gaps, where the wait is only worth a span once it is
+// known to have happened.
+func (t *Tracer) StartAt(trace TraceID, parent *Span, name string, at time.Duration) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.startAt(trace, parent, name, at)
+}
+
+func (t *Tracer) startAt(trace TraceID, parent *Span, name string, at time.Duration) *Span {
+	s := &Span{t: t}
+	s.data.Trace = trace
+	s.data.Name = name
+	s.data.StartUS = int64(at / time.Microsecond)
+	if parent != nil {
+		s.data.Parent = parent.data.Span
+	}
+	t.mu.Lock()
+	t.spanSeq++
+	s.data.Span = t.spanSeq
+	t.open[s.data.Span] = s
+	t.mu.Unlock()
+	return s
+}
+
+// SetAttr attaches a string attribute and returns the span for
+// chaining. Safe on a nil span.
+func (s *Span) SetAttr(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.t.mu.Lock()
+	if s.data.Attrs == nil {
+		s.data.Attrs = make(map[string]string, 4)
+	}
+	s.data.Attrs[key] = value
+	s.t.mu.Unlock()
+	return s
+}
+
+// ID returns the span's ID (0 for nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.data.Span
+}
+
+// Trace returns the span's trace ID (0 for nil).
+func (s *Span) Trace() TraceID {
+	if s == nil {
+		return 0
+	}
+	return s.data.Trace
+}
+
+// End finishes the span, journals it, and returns its duration. End
+// is idempotent; calls after the first (and calls on nil) return 0.
+// Root spans (no parent) force the journal to stable storage, so a
+// crash loses at most the spans of the run in flight.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	t := s.t
+	end := t.now()
+	t.mu.Lock()
+	if _, ok := t.open[s.data.Span]; !ok {
+		t.mu.Unlock()
+		return 0
+	}
+	delete(t.open, s.data.Span)
+	dur := end - time.Duration(s.data.StartUS)*time.Microsecond
+	if dur < 0 {
+		dur = 0
+	}
+	s.data.DurUS = int64(dur / time.Microsecond)
+	t.finishLocked(s.data)
+	t.mu.Unlock()
+	return dur
+}
+
+// finishLocked records a finished span and journals it. Callers hold t.mu.
+func (t *Tracer) finishLocked(d SpanData) {
+	t.done = append(t.done, d)
+	if len(t.recent) < t.recCap {
+		t.recent = append(t.recent, d)
+	} else {
+		t.recent[t.recentN%t.recCap] = d
+	}
+	t.recentN++
+	if t.journal != nil {
+		t.journal.append(d, d.Parent == 0)
+	}
+}
+
+// AttachMicro associates a ptrace recorder with a finished (or at
+// least started) macro span: in the Perfetto export the recorder's
+// events become their own process, time-shifted so cycle 0 lands at
+// the span's start. label names the process (typically the RunSpec).
+func (t *Tracer) AttachMicro(anchor *Span, label string, rec *ptrace.Recorder) {
+	if t == nil || anchor == nil || rec == nil {
+		return
+	}
+	t.mu.Lock()
+	t.micro = append(t.micro, microTrack{
+		label:   label,
+		trace:   anchor.data.Trace,
+		startUS: anchor.data.StartUS,
+		rec:     rec,
+	})
+	t.mu.Unlock()
+}
+
+// Open snapshots the currently running spans, oldest first, with
+// their ages at snapshot time.
+func (t *Tracer) Open() []OpenSpan {
+	if t == nil {
+		return nil
+	}
+	now := int64(t.now() / time.Microsecond)
+	t.mu.Lock()
+	out := make([]OpenSpan, 0, len(t.open))
+	for _, s := range t.open {
+		o := OpenSpan{
+			Trace:   s.data.Trace,
+			Span:    s.data.Span,
+			Parent:  s.data.Parent,
+			Name:    s.data.Name,
+			StartUS: s.data.StartUS,
+			AgeUS:   now - s.data.StartUS,
+		}
+		if len(s.data.Attrs) > 0 {
+			o.Attrs = make(map[string]string, len(s.data.Attrs))
+			for k, v := range s.data.Attrs {
+				o.Attrs[k] = v
+			}
+		}
+		out = append(out, o)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Span < out[j].Span })
+	return out
+}
+
+// Recent returns the most recently finished spans (up to RecentCap),
+// oldest first.
+func (t *Tracer) Recent() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.recentN <= len(t.recent) {
+		out := make([]SpanData, len(t.recent))
+		copy(out, t.recent)
+		return out
+	}
+	// Ring has wrapped: oldest entry is at the next write slot.
+	at := t.recentN % t.recCap
+	out := make([]SpanData, 0, len(t.recent))
+	out = append(out, t.recent[at:]...)
+	out = append(out, t.recent[:at]...)
+	return out
+}
+
+// Spans returns every finished span in completion order.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanData, len(t.done))
+	copy(out, t.done)
+	t.mu.Unlock()
+	return out
+}

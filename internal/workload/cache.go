@@ -32,8 +32,17 @@ type buildKey struct {
 
 type buildEntry struct {
 	once sync.Once
+	done atomic.Bool // set after the build completes; waiters observe it
 	p    *prog.Program
 	err  error
+}
+
+// BuildOutcome describes how a BuildObserved call was served:
+// a fresh build (neither flag), a finished cache entry (Hit), or a
+// block on another goroutine's in-flight build (Hit+Waited).
+type BuildOutcome struct {
+	Hit    bool
+	Waited bool
 }
 
 // NewBuildCache returns an empty cache.
@@ -47,9 +56,18 @@ func NewBuildCache() *BuildCache {
 // cache; a failed build is cached and re-reported to later callers
 // (builds are deterministic, so retrying cannot succeed).
 func (c *BuildCache) Build(name string, budget prog.RegBudget, scale Scale) (*prog.Program, error) {
+	p, _, err := c.BuildObserved(name, budget, scale)
+	return p, err
+}
+
+// BuildObserved is Build plus an account of how the call was served,
+// distinguishing a ready cache hit from a singleflight wait on a
+// build another goroutine already has in flight. The span tracer
+// uses the distinction to render waits as their own spans.
+func (c *BuildCache) BuildObserved(name string, budget prog.RegBudget, scale Scale) (*prog.Program, BuildOutcome, error) {
 	w, err := ByName(name)
 	if err != nil {
-		return nil, err
+		return nil, BuildOutcome{}, err
 	}
 	key := buildKey{name: name, budget: budget, scale: scale}
 	c.mu.Lock()
@@ -59,17 +77,24 @@ func (c *BuildCache) Build(name string, budget prog.RegBudget, scale Scale) (*pr
 		c.entries[key] = e
 	}
 	c.mu.Unlock()
+	// Sampled before once.Do: false here plus a non-first return
+	// below means this call blocked on an in-flight build.
+	ready := e.done.Load()
 	first := false
 	e.once.Do(func() {
 		first = true
 		e.p, e.err = w.Build(budget, scale)
+		e.done.Store(true)
 	})
+	var out BuildOutcome
 	if first {
 		c.misses.Add(1)
 	} else {
 		c.hits.Add(1)
+		out.Hit = true
+		out.Waited = !ready
 	}
-	return e.p, e.err
+	return e.p, out, e.err
 }
 
 // Stats returns how many Build calls were served from the cache (hits)
