@@ -28,21 +28,12 @@ type Analysis struct {
 // of the same program, then fits the paper's Section 2 model: how much
 // translation latency the design exposes (t_AT), how much of it the
 // core tolerates (f_TOL), and the resulting time-per-instruction cost.
-// It is AnalyzeContext with a background context.
-func Analyze(o Options) (*Analysis, error) {
-	return AnalyzeContext(context.Background(), o)
-}
-
-// AnalyzeContext is Analyze with cancellation: both the design run and
-// the T4 baseline stop promptly once ctx is cancelled. The baseline is
-// memoized process-wide, so analyzing several designs of one workload
-// simulates the T4 reference once.
-func AnalyzeContext(ctx context.Context, o Options) (*Analysis, error) {
+// Both the design run and the T4 baseline stop promptly once ctx is
+// cancelled. The baseline is memoized process-wide, so analyzing
+// several designs of one workload simulates the T4 reference once.
+func Analyze(ctx context.Context, o Options) (*Analysis, error) {
 	spec, err := o.spec()
 	if err != nil {
-		return nil, err
-	}
-	if err := validateNames(spec); err != nil {
 		return nil, err
 	}
 	dev := defaultEngine.Run(ctx, spec)
@@ -60,6 +51,14 @@ func AnalyzeContext(ctx context.Context, o Options) (*Analysis, error) {
 		model.RunStats{CPU: dev.Stats, TLB: dev.TLB},
 		float64(cpu.DefaultConfig().TLBMissLatency))
 	return &Analysis{ModelReport: rep, Metrics: dev.Metrics}, nil
+}
+
+// AnalyzeContext fits the Section 2 model to one run.
+//
+// Deprecated: context-first Analyze is the canonical name;
+// AnalyzeContext remains as a thin wrapper.
+func AnalyzeContext(ctx context.Context, o Options) (*Analysis, error) {
+	return Analyze(ctx, o)
 }
 
 // RenderAnalysis writes a fitted model report in the paper's notation,

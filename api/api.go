@@ -1,0 +1,233 @@
+// Package api defines the versioned wire contract of the hbat sweep
+// fabric (cmd/hbatd): the request and response types of the v1 job
+// API, the canonical rendered result artifact, and a thin HTTP client.
+//
+// The package is importable by external tools and deliberately depends
+// on the standard library only. Versioning rules: the v1 types are
+// append-only — new optional fields may be added, existing fields are
+// never renamed, retyped, or removed, and response objects carry an
+// "api" discriminator so clients can reject a server speaking a
+// different major version. A breaking change mints /v2 paths and new
+// types next to these.
+package api
+
+// Version is the wire-contract version every v1 response carries in
+// its "api" field.
+const Version = "v1"
+
+// Paths of the v1 job API. {id} and {speckey} are path suffixes, not
+// templates: clients append the identifier directly.
+const (
+	PathPing     = "/v1/ping"
+	PathJobs     = "/v1/jobs"
+	PathResults  = "/v1/results/"
+	PathManifest = "/v1/manifest"
+)
+
+// TenantHeader names the request header carrying the caller's tenant
+// identity. A "tenant" field in the JobRequest body takes precedence;
+// with neither, the server files the job under the "default" tenant.
+const TenantHeader = "X-Hbat-Tenant"
+
+// CommonOptions is the option set shared by every simulation entry
+// point — one run, a grid, or a remote job: the workload scale, the
+// seed for randomized structures, and the two-phase fast-forward
+// knobs. The hbat facade embeds it in both Options and
+// ExperimentOptions, and the service unmarshals it inside SimOptions,
+// so client and server marshal the same type.
+type CommonOptions struct {
+	// Scale is "test", "small", or "full" (default "small").
+	Scale string `json:"scale,omitempty"`
+	// Seed drives every randomized structure (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// FastForward, when positive, executes the first N instructions
+	// functionally and measures only the remainder cycle-accurately.
+	FastForward uint64 `json:"fast_forward,omitempty"`
+	// FFwdEngine selects the functional warm-up engine: "" or "sblock"
+	// for the superblock-translated engine, "interp" for the reference
+	// interpreter. Results are byte-identical either way.
+	FFwdEngine string `json:"ffwd_engine,omitempty"`
+}
+
+// SimOptions names one simulation on the wire: every outcome-affecting
+// knob of a run and nothing else (observation-only options — pipeline
+// traces, interval sampling, progress callbacks — are local concerns
+// and never cross the wire). Two SimOptions that normalize to the same
+// spec share one spec key, one memoized result, and one stored
+// artifact, whoever submits them.
+type SimOptions struct {
+	CommonOptions
+
+	// Workload is one of the Table 3 benchmarks (default "compress").
+	Workload string `json:"workload,omitempty"`
+	// Design is a Table 2 mnemonic (default "T4").
+	Design string `json:"design,omitempty"`
+	// PageSize is the virtual-memory page size (default 4096).
+	PageSize uint64 `json:"page_size,omitempty"`
+	// InOrder selects the in-order issue model.
+	InOrder bool `json:"in_order,omitempty"`
+	// FewRegisters recompiles the workload for 8 int / 8 fp registers.
+	FewRegisters bool `json:"few_registers,omitempty"`
+	// VirtualCache switches to a virtually-indexed data cache.
+	VirtualCache bool `json:"virtual_cache,omitempty"`
+	// ContextSwitchEvery flushes translation state every N committed
+	// instructions when non-zero.
+	ContextSwitchEvery uint64 `json:"context_switch_every,omitempty"`
+	// MaxInsts optionally caps committed instructions.
+	MaxInsts uint64 `json:"max_insts,omitempty"`
+	// Lockstep runs the golden-model differential checker alongside
+	// the pipeline.
+	Lockstep bool `json:"lockstep,omitempty"`
+}
+
+// Grid is a product-form job body: the cross of Workloads × Designs,
+// each cell inheriting Template's machine variant and common options.
+// Nil Workloads means all ten benchmarks; nil Designs means all
+// thirteen Table 2 designs (Template's own Workload/Design fields are
+// ignored).
+type Grid struct {
+	Workloads []string   `json:"workloads,omitempty"`
+	Designs   []string   `json:"designs,omitempty"`
+	Template  SimOptions `json:"template"`
+}
+
+// JobRequest is the body of POST /v1/jobs: explicit specs, a grid, or
+// both (the grid expands first, explicit specs append after).
+type JobRequest struct {
+	// Tenant overrides the X-Hbat-Tenant header.
+	Tenant string       `json:"tenant,omitempty"`
+	Specs  []SimOptions `json:"specs,omitempty"`
+	Grid   *Grid        `json:"grid,omitempty"`
+}
+
+// JobAccepted is the 202 response to a submitted job.
+type JobAccepted struct {
+	API    string `json:"api"`
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	Total  int    `json:"total"`
+	// SpecKeys are the content-address keys of the job's specs in
+	// submission order; each resolves under /v1/results/ once done.
+	SpecKeys  []string `json:"spec_keys"`
+	StatusURL string   `json:"status_url"`
+	EventsURL string   `json:"events_url"`
+}
+
+// Spec states reported by SpecStatus.State, and job states reported by
+// JobStatus.State ("failed" means at least one spec failed; the rest
+// still complete).
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// SpecStatus is one spec's progress inside a job.
+type SpecStatus struct {
+	SpecKey string `json:"spec_key"`
+	// Spec is the human-readable spec label
+	// (workload/design/mode/pages/budget).
+	Spec  string `json:"spec"`
+	State string `json:"state"`
+	// Cached reports the result was served from an engine's RunSpec
+	// memo (or resume journal) instead of being simulated.
+	Cached bool `json:"cached,omitempty"`
+	// StoreHit reports the result was served straight from the
+	// content-addressed result store, without touching an engine.
+	StoreHit bool    `json:"store_hit,omitempty"`
+	WallMs   float64 `json:"wall_ms,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	// ResultURL serves the rendered artifact once State is "done";
+	// SHA256 is its content hash (the ETag, unquoted).
+	ResultURL string `json:"result_url,omitempty"`
+	SHA256    string `json:"sha256,omitempty"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} response.
+type JobStatus struct {
+	API    string       `json:"api"`
+	ID     string       `json:"id"`
+	Tenant string       `json:"tenant"`
+	State  string       `json:"state"`
+	Done   int          `json:"done"`
+	Total  int          `json:"total"`
+	Specs  []SpecStatus `json:"specs"`
+}
+
+// Event is one SSE message on GET /v1/jobs/{id}/events. Type "spec"
+// carries a completed spec's status (with its phase-span breakdown
+// when the service traces spans), "span" streams a live run-root span
+// end from the runspan tracer, and "done" closes the stream with the
+// job's final counts.
+type Event struct {
+	Type string `json:"type"`
+	Job  string `json:"job"`
+	// Spec is set for "spec" events.
+	Spec *SpecStatus `json:"spec,omitempty"`
+	// Spans is the spec's per-phase wall-time breakdown (program_build,
+	// checkpoint, fast_forward, simulate), when span tracing is on.
+	Spans []Span `json:"spans,omitempty"`
+	// Span is set for "span" events.
+	Span *Span `json:"span,omitempty"`
+	// Done/Total are set for "spec" and "done" events.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+}
+
+// Span is a finished runspan span on the wire.
+type Span struct {
+	Name  string            `json:"name"`
+	DurUS int64             `json:"dur_us"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Result is the canonical rendered artifact of one simulated spec: the
+// deterministic outcome fields only (no wall times, no cache
+// dispositions), so the same spec renders byte-identical artifacts
+// whether simulated locally through the facade, by any hbatd worker,
+// or replayed from a resume journal. Served by GET
+// /v1/results/{speckey} with its SHA-256 as the ETag.
+type Result struct {
+	API     string `json:"api"`
+	SpecKey string `json:"spec_key"`
+	// Spec is the human-readable spec label.
+	Spec string `json:"spec"`
+
+	Design   string `json:"design"`
+	Workload string `json:"workload"`
+
+	Cycles        int64  `json:"cycles"`
+	Instructions  uint64 `json:"instructions"`
+	Loads         uint64 `json:"loads"`
+	Stores        uint64 `json:"stores"`
+	FastForwarded uint64 `json:"fast_forwarded,omitempty"`
+
+	IPC            float64 `json:"ipc"`
+	IssueIPC       float64 `json:"issue_ipc"`
+	MemPerCycle    float64 `json:"mem_per_cycle"`
+	BranchPredRate float64 `json:"branch_pred_rate"`
+
+	TLBLookups    uint64 `json:"tlb_lookups"`
+	TLBMisses     uint64 `json:"tlb_misses"`
+	TLBWalks      uint64 `json:"tlb_walks"`
+	Piggybacks    uint64 `json:"piggybacks"`
+	ShieldHits    uint64 `json:"shield_hits"`
+	NoPortRetries uint64 `json:"no_port_retries"`
+	StatusWrites  uint64 `json:"status_writes"`
+
+	FetchStallCycles  int64 `json:"fetch_stall_cycles"`
+	DispatchTLBStalls int64 `json:"dispatch_tlb_stalls"`
+	DispatchROBFull   int64 `json:"dispatch_rob_full"`
+	DispatchLSQFull   int64 `json:"dispatch_lsq_full"`
+}
+
+// Error is the JSON error body every non-2xx v1 response carries. It
+// implements the error interface so clients can surface it directly.
+type Error struct {
+	API     string `json:"api"`
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *Error) Error() string { return e.Message }

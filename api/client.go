@@ -1,0 +1,162 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is a minimal v1 client for an hbatd sweep service. The zero
+// value is not usable; construct with NewClient. All methods honour
+// the passed context and return *Error for structured server errors.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:9090" (no
+	// trailing slash).
+	Base string
+	// HTTP is the underlying client; http.DefaultClient when nil.
+	HTTP *http.Client
+	// Tenant, when non-empty, is sent as the X-Hbat-Tenant header on
+	// every request.
+	Tenant string
+}
+
+// NewClient returns a Client for the service rooted at base.
+func NewClient(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var apiErr Error
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Message != "" {
+			if apiErr.Code == 0 {
+				apiErr.Code = resp.StatusCode
+			}
+			return &apiErr
+		}
+		return &Error{API: Version, Code: resp.StatusCode,
+			Message: fmt.Sprintf("%s %s: %s", method, path, resp.Status)}
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// Ping probes the service and verifies it speaks this wire version.
+func (c *Client) Ping(ctx context.Context) error {
+	var pong struct {
+		API string `json:"api"`
+	}
+	if err := c.do(ctx, http.MethodGet, PathPing, nil, &pong); err != nil {
+		return err
+	}
+	if pong.API != Version {
+		return fmt.Errorf("api: server speaks %q, client speaks %q", pong.API, Version)
+	}
+	return nil
+}
+
+// Submit posts a job and returns its acceptance record.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (JobAccepted, error) {
+	var acc JobAccepted
+	err := c.do(ctx, http.MethodPost, PathJobs, req, &acc)
+	return acc, err
+}
+
+// Job fetches the current status of a job.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, PathJobs+"/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls a job until it leaves the queued/running states (or the
+// context ends) and returns its final status.
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Result fetches a rendered artifact by spec key, returning the exact
+// served bytes and their content-hash ETag (unquoted).
+func (c *Client) Result(ctx context.Context, specKey string) ([]byte, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+PathResults+specKey, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr Error
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Message != "" {
+			return nil, "", &apiErr
+		}
+		return nil, "", &Error{API: Version, Code: resp.StatusCode, Message: resp.Status}
+	}
+	etag := resp.Header.Get("ETag")
+	if n := len(etag); n >= 2 && etag[0] == '"' && etag[n-1] == '"' {
+		etag = etag[1 : n-1]
+	}
+	return data, etag, nil
+}

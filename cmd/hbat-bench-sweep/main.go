@@ -431,10 +431,10 @@ func benchEmu(ctx context.Context, scaleName string) (*emuResult, error) {
 
 // pass generates every artifact once and returns the elapsed wall time.
 func pass(ctx context.Context, scale string, noCache bool) (time.Duration, error) {
-	opts := hbat.ExperimentOptions{Scale: scale, NoCache: noCache}
+	opts := hbat.ExperimentOptions{CommonOptions: hbat.CommonOptions{Scale: scale}, NoCache: noCache}
 	start := time.Now()
 	for _, name := range artifacts {
-		if err := hbat.RunExperimentContext(ctx, name, opts, io.Discard); err != nil {
+		if err := hbat.RunExperiment(ctx, name, opts, io.Discard); err != nil {
 			return 0, fmt.Errorf("%s: %w", name, err)
 		}
 	}

@@ -60,7 +60,9 @@ func main() {
 	}
 
 	if *ckptDir != "" {
-		hbat.SetCheckpointDir(*ckptDir)
+		if err := hbat.SetCheckpointDir(*ckptDir); err != nil {
+			fail(err)
+		}
 	}
 	if *resume != "" {
 		n, err := hbat.ResumeJournal(*resume)
@@ -82,7 +84,10 @@ func main() {
 		names = []string{*only}
 	}
 	for _, name := range names {
-		opts := hbat.ExperimentOptions{Scale: *scale, Parallelism: *par, Seed: *seed, FastForward: *ffwd}
+		opts := hbat.ExperimentOptions{
+			CommonOptions: hbat.CommonOptions{Scale: *scale, Seed: *seed, FastForward: *ffwd},
+			Parallelism:   *par,
+		}
 		if !*quiet {
 			logger.Info("experiment start", "name", name, "scale", *scale)
 			opts.Progress = func(p hbat.RunProgress) {
@@ -96,7 +101,7 @@ func main() {
 		// Tee the rendered report through a buffer so its SHA-256 can be
 		// recorded even though it streams to stdout.
 		var buf bytes.Buffer
-		if err := hbat.RunExperimentContext(ctx, name, opts, io.MultiWriter(os.Stdout, &buf)); err != nil {
+		if err := hbat.RunExperiment(ctx, name, opts, io.MultiWriter(os.Stdout, &buf)); err != nil {
 			fail(err)
 		}
 		man.AddArtifactBytes(name+".txt", "-", buf.Bytes())
@@ -111,7 +116,7 @@ func main() {
 			csvOpts.Progress = nil
 			// The grid was just simulated for the text report, so the
 			// CSV pass is served entirely from the sweep cache.
-			if err := hbat.ExperimentCSVContext(ctx, name, csvOpts, f); err != nil {
+			if err := hbat.ExperimentCSV(ctx, name, csvOpts, f); err != nil {
 				fail(err)
 			}
 			f.Close()

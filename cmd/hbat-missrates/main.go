@@ -42,8 +42,8 @@ func main() {
 	if *manifest != "" {
 		out = io.MultiWriter(os.Stdout, &buf)
 	}
-	opts := hbat.ExperimentOptions{Scale: *scale, Seed: *seed}
-	if err := hbat.RunExperimentContext(ctx, "fig6", opts, out); err != nil {
+	opts := hbat.ExperimentOptions{CommonOptions: hbat.CommonOptions{Scale: *scale, Seed: *seed}}
+	if err := hbat.RunExperiment(ctx, "fig6", opts, out); err != nil {
 		fail(err)
 	}
 	spansPath, err := obsFlags.FinishSpans()

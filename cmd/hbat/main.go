@@ -150,20 +150,24 @@ func run(ctx context.Context) error {
 	}()
 
 	opts := hbat.Options{
+		CommonOptions: hbat.CommonOptions{
+			Scale:       *scale,
+			Seed:        *seed,
+			FastForward: *ffwd,
+			FFwdEngine:  *ffwdEngine,
+		},
 		Workload:     *wl,
 		Design:       *design,
 		PageSize:     *pageSize,
 		InOrder:      *inOrder,
 		FewRegisters: *fewRegs,
-		Scale:        *scale,
-		Seed:         *seed,
 		MaxInsts:     *maxInsts,
-		FastForward:  *ffwd,
-		FFwdEngine:   *ffwdEngine,
 		Lockstep:     *lockstep,
 	}
 	if *ckptDir != "" {
-		hbat.SetCheckpointDir(*ckptDir)
+		if err := hbat.SetCheckpointDir(*ckptDir); err != nil {
+			return err
+		}
 	}
 	if *traceFile != "" || *traceSummary {
 		switch *traceFormat {
@@ -192,7 +196,7 @@ func run(ctx context.Context) error {
 		return hbat.Disassemble(*wl, *scale, *fewRegs, os.Stdout)
 	}
 	if *analyze {
-		rep, err := hbat.AnalyzeContext(ctx, opts)
+		rep, err := hbat.Analyze(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -200,7 +204,7 @@ func run(ctx context.Context) error {
 		return exportMetrics(*metrics, *metricsCSV, rep.Metrics)
 	}
 
-	res, err := hbat.SimulateContext(ctx, opts)
+	res, err := hbat.Simulate(ctx, opts)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package hbat_test
 
 import (
+	"context"
 	"fmt"
 
 	"hbat"
@@ -9,10 +10,10 @@ import (
 // The smallest end-to-end use: run one benchmark on one translation
 // design and look at what the translation hardware did.
 func ExampleSimulate() {
-	res, err := hbat.Simulate(hbat.Options{
-		Workload: "tomcatv",
-		Design:   "M8",
-		Scale:    "test",
+	res, err := hbat.Simulate(context.Background(), hbat.Options{
+		Workload:      "tomcatv",
+		Design:        "M8",
+		CommonOptions: hbat.CommonOptions{Scale: "test"},
 	})
 	if err != nil {
 		panic(err)
@@ -40,8 +41,9 @@ func ExampleDesigns() {
 func ExampleSimulate_comparison() {
 	ipc := map[string]float64{}
 	for _, d := range []string{"T4", "T1"} {
-		res, err := hbat.Simulate(hbat.Options{
-			Workload: "espresso", Design: d, Scale: "test",
+		res, err := hbat.Simulate(context.Background(), hbat.Options{
+			Workload: "espresso", Design: d,
+			CommonOptions: hbat.CommonOptions{Scale: "test"},
 		})
 		if err != nil {
 			panic(err)

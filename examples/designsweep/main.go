@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -37,7 +38,11 @@ func main() {
 	}
 	var rows []row
 	for _, d := range hbat.Designs() {
-		res, err := hbat.Simulate(hbat.Options{Workload: wl, Design: d, Scale: scale})
+		res, err := hbat.Simulate(context.Background(), hbat.Options{
+			CommonOptions: hbat.CommonOptions{Scale: scale},
+			Workload:      wl,
+			Design:        d,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -23,7 +24,11 @@ func main() {
 	}
 	fmt.Printf("Section 2 model on %s (t_AT = (1-f_shielded)(t_stalled + t_TLBhit + M_TLB*t_TLBmiss)):\n\n", wl)
 	for _, d := range []string{"T1", "M8", "P8", "PB1"} {
-		rep, err := hbat.Analyze(hbat.Options{Workload: wl, Design: d, Scale: "small"})
+		rep, err := hbat.Analyze(context.Background(), hbat.Options{
+			CommonOptions: hbat.CommonOptions{Scale: "small"},
+			Workload:      wl,
+			Design:        d,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

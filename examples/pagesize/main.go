@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,8 +24,9 @@ func main() {
 		for _, d := range designs {
 			var ipc [2]float64
 			for i, ps := range []uint64{4096, 8192} {
-				res, err := hbat.Simulate(hbat.Options{
-					Workload: wl, Design: d, PageSize: ps, Scale: "small",
+				res, err := hbat.Simulate(context.Background(), hbat.Options{
+					CommonOptions: hbat.CommonOptions{Scale: "small"},
+					Workload:      wl, Design: d, PageSize: ps,
 				})
 				if err != nil {
 					log.Fatal(err)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,10 +24,10 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("--- %s: %s ---\n", design, desc)
-		res, err := hbat.Simulate(hbat.Options{
-			Workload: "xlisp", // the suite's most memory-intensive program
-			Design:   design,
-			Scale:    "small",
+		res, err := hbat.Simulate(context.Background(), hbat.Options{
+			CommonOptions: hbat.CommonOptions{Scale: "small"},
+			Workload:      "xlisp", // the suite's most memory-intensive program
+			Design:        design,
 		})
 		if err != nil {
 			log.Fatal(err)

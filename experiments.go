@@ -13,10 +13,10 @@ import (
 // per-artifact, not per-run) on the options' engine tracer. Returns
 // nil, accepted by Span.End, when tracing is off.
 func renderSpan(ho harness.Options, artifact string) *runspan.Span {
-	if ho.Engine == nil || !ho.Engine.Spans.Enabled() {
+	if ho.Engine == nil || !ho.Engine.Spans().Enabled() {
 		return nil
 	}
-	tr := ho.Engine.Spans
+	tr := ho.Engine.Spans()
 	return tr.Start(tr.NewTrace(), nil, "render").SetAttr("artifact", artifact)
 }
 
@@ -136,15 +136,15 @@ func CSVExperimentNames() []string {
 	return names
 }
 
-// RunExperimentContext regenerates one of the paper's evaluation
-// artifacts and writes a text report to w, honoring ctx cancellation:
-// a cancelled context stops dispatching queued simulations, interrupts
+// RunExperiment regenerates one of the paper's evaluation artifacts
+// and writes a text report to w, honoring ctx cancellation: a
+// cancelled context stops dispatching queued simulations, interrupts
 // in-flight ones at a cycle-granular check, and returns ctx.Err().
 // Successive calls from one process share the package's sweep engine,
 // so a spec that one experiment already simulated (for example Table
 // 3's T4 column, a subset of Figure 5's grid) is served from cache.
 // See ExperimentNames.
-func RunExperimentContext(ctx context.Context, name string, o ExperimentOptions, w io.Writer) error {
+func RunExperiment(ctx context.Context, name string, o ExperimentOptions, w io.Writer) error {
 	e, err := lookupExperiment(name)
 	if err != nil {
 		return err
@@ -159,15 +159,18 @@ func RunExperimentContext(ctx context.Context, name string, o ExperimentOptions,
 	return e.renderFigure(ctx, ho, w)
 }
 
-// RunExperiment is RunExperimentContext with a background context.
-func RunExperiment(name string, o ExperimentOptions, w io.Writer) error {
-	return RunExperimentContext(context.Background(), name, o, w)
+// RunExperimentContext regenerates one evaluation artifact.
+//
+// Deprecated: context-first RunExperiment is the canonical name;
+// RunExperimentContext remains as a thin wrapper.
+func RunExperimentContext(ctx context.Context, name string, o ExperimentOptions, w io.Writer) error {
+	return RunExperiment(ctx, name, o, w)
 }
 
-// ExperimentCSVContext runs one of the design-grid experiments (see
+// ExperimentCSV runs one of the design-grid experiments (see
 // CSVExperimentNames) and writes machine-readable CSV for external
 // plotting, honoring ctx cancellation.
-func ExperimentCSVContext(ctx context.Context, name string, o ExperimentOptions, w io.Writer) error {
+func ExperimentCSV(ctx context.Context, name string, o ExperimentOptions, w io.Writer) error {
 	e, err := lookupExperiment(name)
 	if err != nil {
 		return err
@@ -189,7 +192,10 @@ func ExperimentCSVContext(ctx context.Context, name string, o ExperimentOptions,
 	return nil
 }
 
-// ExperimentCSV is ExperimentCSVContext with a background context.
-func ExperimentCSV(name string, o ExperimentOptions, w io.Writer) error {
-	return ExperimentCSVContext(context.Background(), name, o, w)
+// ExperimentCSVContext runs one design-grid experiment as CSV.
+//
+// Deprecated: context-first ExperimentCSV is the canonical name;
+// ExperimentCSVContext remains as a thin wrapper.
+func ExperimentCSVContext(ctx context.Context, name string, o ExperimentOptions, w io.Writer) error {
+	return ExperimentCSV(ctx, name, o, w)
 }

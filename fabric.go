@@ -1,0 +1,97 @@
+package hbat
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"hbat/api"
+)
+
+// Fabric is a handle to a sweep fabric: either a remote hbatd service
+// or this process's shared engine. Both sides of the handle normalize
+// specs identically (engine.SpecFromWire) and render artifacts through
+// the same canonical form, so a caller cannot tell — byte for byte —
+// where a result was simulated.
+type Fabric struct {
+	client *api.Client // nil in local mode
+	// fallbackErr records why a Dial with a remote address ended up
+	// local (see Remote).
+	fallbackErr error
+}
+
+// Dial connects to the sweep fabric at addr (e.g.
+// "http://127.0.0.1:9090"). An empty addr selects local mode — the
+// process's shared engine — outright. A non-empty addr is probed with
+// a version-checked ping; if the service is unreachable or speaks a
+// different API version, Dial falls back to local mode rather than
+// failing, and FallbackErr reports why. Simulation results are
+// identical either way; only where the cycles burn differs.
+func Dial(ctx context.Context, addr string) (*Fabric, error) {
+	if addr == "" {
+		return &Fabric{}, nil
+	}
+	c := api.NewClient(addr)
+	if err := c.Ping(ctx); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return &Fabric{fallbackErr: fmt.Errorf("hbat: fabric %s unreachable, running locally: %w", addr, err)}, nil
+	}
+	return &Fabric{client: c}, nil
+}
+
+// Remote reports whether the fabric handle is backed by a remote
+// service.
+func (f *Fabric) Remote() bool { return f.client != nil }
+
+// FallbackErr returns the reason a remote Dial fell back to local mode
+// (nil when remote, or when local mode was requested).
+func (f *Fabric) FallbackErr() error { return f.fallbackErr }
+
+// SetTenant sets the tenant identity sent with remote requests. Local
+// mode has no tenancy; the call is a no-op there.
+func (f *Fabric) SetTenant(tenant string) {
+	if f.client != nil {
+		f.client.Tenant = tenant
+	}
+}
+
+// Simulate runs one simulation through the fabric. In remote mode the
+// spec travels as a one-spec job; the result is the server's stored
+// artifact (which may have been simulated by another tenant entirely —
+// that is the point). Observation-only options (Trace, IntervalEvery,
+// Progress) do not cross the wire; requests carrying them are rejected
+// in remote mode rather than silently dropped.
+func (f *Fabric) Simulate(ctx context.Context, o Options) (*Result, error) {
+	if f.client == nil {
+		return Simulate(ctx, o)
+	}
+	if o.Trace != nil || o.IntervalEvery > 0 || o.Progress != nil {
+		return nil, fmt.Errorf("hbat: Trace/IntervalEvery/Progress are local-only options; run them without a remote fabric")
+	}
+	acc, err := f.client.Submit(ctx, api.JobRequest{Specs: []api.SimOptions{o.wire()}})
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.client.Wait(ctx, acc.ID)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Specs) != 1 {
+		return nil, fmt.Errorf("hbat: fabric returned %d specs for a one-spec job", len(st.Specs))
+	}
+	sp := st.Specs[0]
+	if sp.State == api.StateFailed || sp.Error != "" {
+		return nil, fmt.Errorf("hbat: remote simulation failed: %s", sp.Error)
+	}
+	data, _, err := f.client.Result(ctx, sp.SpecKey)
+	if err != nil {
+		return nil, err
+	}
+	var wire api.Result
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return nil, fmt.Errorf("hbat: malformed remote artifact: %w", err)
+	}
+	return &Result{Result: wire}, nil
+}

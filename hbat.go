@@ -19,7 +19,9 @@ import (
 	"io"
 	"time"
 
+	"hbat/api"
 	"hbat/internal/cpu"
+	"hbat/internal/engine"
 	"hbat/internal/harness"
 	"hbat/internal/prog"
 	"hbat/internal/ptrace"
@@ -49,16 +51,25 @@ func SweepStats() SweepCacheStats { return defaultEngine.CacheStats() }
 // /metrics scrapes) to the same engine the facade drives.
 func SweepEngine() *harness.Engine { return defaultEngine }
 
+// ErrEngineStarted is returned by the result-affecting
+// engine-configuration functions (SetCheckpointDir, ResumeJournal)
+// once the shared engine has executed work: that configuration is
+// frozen at first use so a concurrent sweep never observes a
+// half-applied change.
+var ErrEngineStarted = harness.ErrStarted
+
 // SetCheckpointDir makes the shared sweep engine persist fast-forward
 // checkpoints under dir, so later processes skip the functional warm-up
-// for specs they have already warmed. Call before the first simulation.
-func SetCheckpointDir(dir string) { defaultEngine.CkptDir = dir }
+// for specs they have already warmed. Must be called before the first
+// simulation; afterwards it returns ErrEngineStarted.
+func SetCheckpointDir(dir string) error { return defaultEngine.SetCheckpointDir(dir) }
 
 // ResumeJournal attaches a crash-safe resume journal to the shared
 // sweep engine: completed runs are appended as they finish, and runs
 // already journaled by an interrupted sweep are served without
 // re-simulating, reproducing the same artifacts byte-for-byte. Returns
-// the number of runs resumed. Call before the first simulation.
+// the number of runs resumed. Must be called before the first
+// simulation; afterwards it returns ErrEngineStarted.
 func ResumeJournal(path string) (int, error) { return defaultEngine.SetJournal(path) }
 
 // SpanTracer records per-run phase spans (program build, checkpoint,
@@ -68,19 +79,20 @@ func ResumeJournal(path string) (int, error) { return defaultEngine.SetJournal(p
 type SpanTracer = runspan.Tracer
 
 // NewSpanTracer returns an enabled span tracer. Attach it with
-// SetSpanTracer (or Engine.Spans directly), stream its journal with
+// SetSpanTracer (or Engine.SetSpans), stream its journal with
 // SpanTracer.OpenJournal, and export the merged Perfetto timeline
 // with SpanTracer.WritePerfettoFile.
 func NewSpanTracer() *SpanTracer { return runspan.New(runspan.Config{}) }
 
 // SetSpanTracer attaches a span tracer to the shared sweep engine:
 // every simulation driven through the facade emits one trace with a
-// span per phase. Call before the first simulation; nil detaches.
-func SetSpanTracer(t *SpanTracer) { defaultEngine.Spans = t }
+// span per phase. Safe at any time, including while a sweep is
+// running; nil detaches.
+func SetSpanTracer(t *SpanTracer) { defaultEngine.SetSpans(t) }
 
 // Spans returns the shared sweep engine's span tracer (nil when
 // tracing is off).
-func Spans() *SpanTracer { return defaultEngine.Spans }
+func Spans() *SpanTracer { return defaultEngine.Spans() }
 
 // Manifest is the run-provenance record written alongside sweep
 // artifacts; see harness.Manifest.
@@ -90,8 +102,18 @@ type Manifest = harness.Manifest
 // identity (go version, VCS revision when available) and time.
 func NewManifest(tool string) *Manifest { return harness.NewManifest(tool, time.Now()) }
 
-// Options selects what Simulate runs.
+// CommonOptions is the option set shared by every entry point — one
+// run (Options), a grid (ExperimentOptions), or a remote job
+// (api.SimOptions): workload scale, seed, and the two-phase
+// fast-forward knobs. It is the wire type api.CommonOptions, so the
+// CLI, the facade, and the hbatd service all marshal the same struct.
+type CommonOptions = api.CommonOptions
+
+// Options selects what Simulate runs. The embedded CommonOptions
+// carries Scale, Seed, FastForward, and FFwdEngine.
 type Options struct {
+	CommonOptions
+
 	// Workload is one of Workloads() (default "compress").
 	Workload string
 	// Design is one of Designs() (default "T4").
@@ -111,25 +133,9 @@ type Options struct {
 	// ContextSwitchEvery, when non-zero, flushes all translation state
 	// every N committed instructions (multiprogramming pressure).
 	ContextSwitchEvery uint64
-	// Scale is "test", "small", or "full" (default "small").
-	Scale string
-	// Seed drives every randomized structure (default 1).
-	Seed uint64
 	// MaxInsts optionally caps committed instructions (0 = run to
 	// completion).
 	MaxInsts uint64
-	// FastForward, when positive, executes the first N instructions
-	// functionally (warming TLB, cache, and predictor state) and
-	// measures only the remainder cycle-accurately — the two-phase
-	// methodology. Reported statistics cover the measurement window
-	// only. N must be smaller than the workload's instruction count.
-	FastForward uint64
-	// FFwdEngine selects the functional engine for the fast-forward
-	// warm-up: "" or "sblock" for the superblock-translated engine,
-	// "interp" for the reference interpreter. Both engines produce
-	// byte-identical checkpoints and statistics — the choice affects
-	// warm-up wall time only.
-	FFwdEngine string
 	// Lockstep runs the golden-model differential checker alongside the
 	// pipeline: any divergence of architected state from the functional
 	// emulator is returned as an error instead of skewing statistics.
@@ -173,43 +179,18 @@ type IntervalSeries = stats.IntervalSeries
 // to stable JSON and CSV via WriteJSON and WriteCSV.
 type MetricsSnapshot = stats.Snapshot
 
-// Result reports one simulation.
+// Result reports one simulation. The embedded api.Result carries the
+// deterministic outcome fields (cycles, IPC, TLB behaviour, stall
+// breakdown) in their canonical wire form; Artifact renders exactly
+// those bytes, so a facade run and an hbatd-served result for the same
+// spec are comparable byte-for-byte.
 type Result struct {
-	Design   string
-	Workload string
-
-	Cycles       int64
-	Instructions uint64
-	Loads        uint64
-	Stores       uint64
-	// FastForwarded is the number of instructions executed functionally
-	// before cycle-accurate measurement began (Options.FastForward);
-	// every other field covers the measurement window only.
-	FastForwarded uint64
-
-	IPC            float64
-	IssueIPC       float64
-	MemPerCycle    float64
-	BranchPredRate float64
-
-	// Address-translation behaviour.
-	TLBLookups    uint64
-	TLBMisses     uint64
-	TLBWalks      uint64
-	Piggybacks    uint64
-	ShieldHits    uint64
-	NoPortRetries uint64
-	StatusWrites  uint64
-
-	// Stall breakdown (cycles).
-	FetchStallCycles  int64
-	DispatchTLBStalls int64
-	DispatchROBFull   int64
-	DispatchLSQFull   int64
+	api.Result
 
 	// Metrics is the run's full metrics-registry export: queue-depth
 	// and translation-latency distributions, replay and squash counts,
-	// and per-cause stall cycles.
+	// and per-cause stall cycles. Local runs only — it does not cross
+	// the wire.
 	Metrics MetricsSnapshot
 
 	// Trace is the captured pipeline recording (nil unless
@@ -220,50 +201,43 @@ type Result struct {
 	Intervals *IntervalSeries
 }
 
+// Artifact renders the result's canonical artifact: the indented JSON
+// of the embedded api.Result with a trailing newline — the exact bytes
+// GET /v1/results/{speckey} serves for the same spec.
+func (r *Result) Artifact() []byte { return engine.Artifact(r.Result) }
+
 func parseScale(s string) (workload.Scale, error) {
-	switch s {
-	case "", "small":
-		return workload.ScaleSmall, nil
-	case "test":
-		return workload.ScaleTest, nil
-	case "full":
-		return workload.ScaleFull, nil
+	sc, err := engine.ParseScale(s)
+	if err != nil {
+		return 0, fmt.Errorf("hbat: %w", err)
 	}
-	return 0, fmt.Errorf("hbat: unknown scale %q (test, small, full)", s)
+	return sc, nil
+}
+
+// wire lowers the options to their wire form: the outcome-affecting
+// fields an hbatd job carries. Observation-only options (Trace,
+// IntervalEvery, Progress) are deliberately absent — they never cross
+// the wire.
+func (o Options) wire() api.SimOptions {
+	return api.SimOptions{
+		CommonOptions:      o.CommonOptions,
+		Workload:           o.Workload,
+		Design:             o.Design,
+		PageSize:           o.PageSize,
+		InOrder:            o.InOrder,
+		FewRegisters:       o.FewRegisters,
+		VirtualCache:       o.VirtualCache,
+		ContextSwitchEvery: o.ContextSwitchEvery,
+		MaxInsts:           o.MaxInsts,
+		Lockstep:           o.Lockstep,
+	}
 }
 
 func (o Options) spec() (harness.RunSpec, error) {
-	scale, err := parseScale(o.Scale)
+	spec, err := engine.SpecFromWire(o.wire())
 	if err != nil {
-		return harness.RunSpec{}, err
+		return harness.RunSpec{}, fmt.Errorf("hbat: %w", err)
 	}
-	spec := harness.RunSpec{
-		Workload:    o.Workload,
-		Design:      o.Design,
-		Budget:      prog.Budget32,
-		Scale:       scale,
-		PageSize:    o.PageSize,
-		InOrder:     o.InOrder,
-		Seed:        o.Seed,
-		MaxInsts:    o.MaxInsts,
-		FastForward: o.FastForward,
-		FFwdEngine:  o.FFwdEngine,
-	}
-	if spec.Workload == "" {
-		spec.Workload = "compress"
-	}
-	if spec.Design == "" {
-		spec.Design = "T4"
-	}
-	if spec.PageSize == 0 {
-		spec.PageSize = 4096
-	}
-	if o.FewRegisters {
-		spec.Budget = prog.Budget8
-	}
-	spec.VirtualCache = o.VirtualCache
-	spec.ContextSwitchEvery = o.ContextSwitchEvery
-	spec.Lockstep = o.Lockstep
 	if o.Trace != nil {
 		spec.Trace = &ptrace.Config{Cap: o.Trace.Buffer, Start: o.Trace.Start, End: o.Trace.End}
 	}
@@ -273,36 +247,14 @@ func (o Options) spec() (harness.RunSpec, error) {
 	return spec, nil
 }
 
-// validateNames rejects unknown workload or design names up front,
-// before the (comparatively expensive) program build, with errors that
-// name the valid choices.
-func validateNames(spec harness.RunSpec) error {
-	if _, err := workload.ByName(spec.Workload); err != nil {
-		return err
-	}
-	if _, err := tlb.LookupSpec(spec.Design); err != nil {
-		return err
-	}
-	return nil
-}
-
 // Simulate runs one workload on one translation design and returns the
-// run's statistics. It is SimulateContext with a background context.
-func Simulate(o Options) (*Result, error) {
-	return SimulateContext(context.Background(), o)
-}
-
-// SimulateContext runs one workload on one translation design,
-// honoring ctx: a cancelled context interrupts the simulation at a
-// cycle-granular check and returns ctx.Err(). Deterministic,
-// untraced runs are memoized process-wide, so repeating an identical
-// simulation returns immediately.
-func SimulateContext(ctx context.Context, o Options) (*Result, error) {
+// run's statistics, honoring ctx: a cancelled context interrupts the
+// simulation at a cycle-granular check and returns ctx.Err().
+// Deterministic, untraced runs are memoized process-wide, so repeating
+// an identical simulation returns immediately.
+func Simulate(ctx context.Context, o Options) (*Result, error) {
 	spec, err := o.spec()
 	if err != nil {
-		return nil, err
-	}
-	if err := validateNames(spec); err != nil {
 		return nil, err
 	}
 	r := defaultEngine.Run(ctx, spec)
@@ -310,34 +262,19 @@ func SimulateContext(ctx context.Context, o Options) (*Result, error) {
 		return nil, r.Err
 	}
 	return &Result{
-		Design:         spec.Design,
-		Workload:       spec.Workload,
-		Cycles:         r.Stats.Cycles,
-		Instructions:   r.Stats.Committed,
-		FastForwarded:  r.Stats.FastForwarded,
-		Loads:          r.Stats.CommittedLoads,
-		Stores:         r.Stats.CommittedStores,
-		IPC:            r.Stats.IPC(),
-		IssueIPC:       r.Stats.IssueIPC(),
-		MemPerCycle:    r.Stats.MemPerCycle(),
-		BranchPredRate: r.Stats.BranchRate(),
-		TLBLookups:     r.TLB.Lookups,
-		TLBMisses:      r.TLB.Misses,
-		TLBWalks:       r.TLB.Fills,
-		Piggybacks:     r.TLB.Piggybacks,
-		ShieldHits:     r.TLB.ShieldHits,
-		NoPortRetries:  r.TLB.NoPorts,
-		StatusWrites:   r.TLB.StatusWrites,
-
-		FetchStallCycles:  r.Stats.FetchStallCycles,
-		DispatchTLBStalls: r.Stats.DispatchTLBStalls,
-		DispatchROBFull:   r.Stats.DispatchROBFull,
-		DispatchLSQFull:   r.Stats.DispatchLSQFull,
-
+		Result:    engine.Wire(r),
 		Metrics:   r.Metrics,
 		Trace:     r.Trace,
 		Intervals: r.Intervals,
 	}, nil
+}
+
+// SimulateContext runs one workload on one translation design.
+//
+// Deprecated: context-first Simulate is the canonical name;
+// SimulateContext remains as a thin wrapper.
+func SimulateContext(ctx context.Context, o Options) (*Result, error) {
+	return Simulate(ctx, o)
 }
 
 // Designs returns the Table 2 design mnemonics in figure order.
@@ -385,23 +322,15 @@ type RunProgress struct {
 	Elapsed, ETA time.Duration
 }
 
-// ExperimentOptions configures a full-grid experiment.
+// ExperimentOptions configures a full-grid experiment. The embedded
+// CommonOptions carries Scale, Seed, FastForward, and FFwdEngine —
+// the same struct Options embeds, so single runs, grids, and remote
+// jobs share one option vocabulary.
 type ExperimentOptions struct {
-	// Scale is "test", "small", or "full" (default "small").
-	Scale string
+	CommonOptions
+
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
-	// Seed drives randomized structures (default 1).
-	Seed uint64
-	// FastForward applies the two-phase methodology to every timing run
-	// in the grid: the first N instructions execute functionally (one
-	// warmed checkpoint per workload, shared across all designs) and
-	// statistics cover only the remainder. Zero runs from reset.
-	FastForward uint64
-	// FFwdEngine selects the functional engine for the warm-ups
-	// ("" or "sblock" = superblock-translated, "interp" = reference
-	// interpreter); results are byte-identical either way.
-	FFwdEngine string
 	// Workloads/Designs restrict the grid (nil = everything).
 	Workloads []string
 	Designs   []string
@@ -430,10 +359,7 @@ func (o ExperimentOptions) harness() (harness.Options, error) {
 		Engine:      defaultEngine,
 	}
 	if o.NoCache {
-		e := harness.NewEngine()
-		e.NoBuildCache = true
-		e.NoMemo = true
-		ho.Engine = e
+		ho.Engine = harness.NewEngine(harness.WithoutBuildCache(), harness.WithoutMemo())
 	}
 	if o.Progress != nil {
 		p := o.Progress

@@ -9,7 +9,7 @@ import (
 )
 
 func TestSimulateDefaults(t *testing.T) {
-	res, err := Simulate(Options{Scale: "test"})
+	res, err := Simulate(context.Background(), Options{CommonOptions: CommonOptions{Scale: "test"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,26 +22,26 @@ func TestSimulateDefaults(t *testing.T) {
 }
 
 func TestSimulateValidation(t *testing.T) {
-	if _, err := Simulate(Options{Workload: "nope", Scale: "test"}); err == nil {
+	if _, err := Simulate(context.Background(), Options{CommonOptions: CommonOptions{Scale: "test"}, Workload: "nope"}); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if _, err := Simulate(Options{Design: "nope", Scale: "test"}); err == nil {
+	if _, err := Simulate(context.Background(), Options{CommonOptions: CommonOptions{Scale: "test"}, Design: "nope"}); err == nil {
 		t.Error("unknown design accepted")
 	}
-	if _, err := Simulate(Options{Scale: "nope"}); err == nil {
+	if _, err := Simulate(context.Background(), Options{CommonOptions: CommonOptions{Scale: "nope"}}); err == nil {
 		t.Error("unknown scale accepted")
 	}
 }
 
 func TestSimulateUnknownNamesListChoices(t *testing.T) {
-	_, err := Simulate(Options{Workload: "nope", Scale: "test"})
+	_, err := Simulate(context.Background(), Options{CommonOptions: CommonOptions{Scale: "test"}, Workload: "nope"})
 	if err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 	if !strings.Contains(err.Error(), "compress") {
 		t.Errorf("workload error does not list valid names: %v", err)
 	}
-	_, err = Simulate(Options{Design: "Z9", Scale: "test"})
+	_, err = Simulate(context.Background(), Options{CommonOptions: CommonOptions{Scale: "test"}, Design: "Z9"})
 	if err == nil {
 		t.Fatal("unknown design accepted")
 	}
@@ -53,13 +53,13 @@ func TestSimulateUnknownNamesListChoices(t *testing.T) {
 func TestSimulateContextCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := SimulateContext(ctx, Options{Scale: "test"}); !errors.Is(err, context.Canceled) {
+	if _, err := SimulateContext(ctx, Options{CommonOptions: CommonOptions{Scale: "test"}}); !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }
 
 func TestSweepStatsAccumulate(t *testing.T) {
-	if _, err := Simulate(Options{Workload: "perl", Design: "T4", Scale: "test"}); err != nil {
+	if _, err := Simulate(context.Background(), Options{CommonOptions: CommonOptions{Scale: "test"}, Workload: "perl", Design: "T4"}); err != nil {
 		t.Fatal(err)
 	}
 	s := SweepStats()
@@ -72,32 +72,32 @@ func TestSweepStatsAccumulate(t *testing.T) {
 }
 
 func TestSimulateVariants(t *testing.T) {
-	base, err := Simulate(Options{Workload: "perl", Design: "T1", Scale: "test"})
+	base, err := Simulate(context.Background(), Options{CommonOptions: CommonOptions{Scale: "test"}, Workload: "perl", Design: "T1"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	inorder, err := Simulate(Options{Workload: "perl", Design: "T1", Scale: "test", InOrder: true})
+	inorder, err := Simulate(context.Background(), Options{CommonOptions: CommonOptions{Scale: "test"}, Workload: "perl", Design: "T1", InOrder: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if inorder.IPC >= base.IPC {
 		t.Errorf("in-order IPC %.3f not below OoO %.3f", inorder.IPC, base.IPC)
 	}
-	few, err := Simulate(Options{Workload: "perl", Design: "T1", Scale: "test", FewRegisters: true})
+	few, err := Simulate(context.Background(), Options{CommonOptions: CommonOptions{Scale: "test"}, Workload: "perl", Design: "T1", FewRegisters: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if few.Loads+few.Stores <= base.Loads+base.Stores {
 		t.Error("few-registers build did not raise memory traffic")
 	}
-	big, err := Simulate(Options{Workload: "perl", Design: "M4", Scale: "test", PageSize: 8192})
+	big, err := Simulate(context.Background(), Options{CommonOptions: CommonOptions{Scale: "test"}, Workload: "perl", Design: "M4", PageSize: 8192})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if big.TLBWalks == 0 && base.TLBWalks > 0 {
 		t.Log("8k pages eliminated all walks (fine)")
 	}
-	capped, err := Simulate(Options{Workload: "perl", Scale: "test", MaxInsts: 500})
+	capped, err := Simulate(context.Background(), Options{CommonOptions: CommonOptions{Scale: "test"}, Workload: "perl", MaxInsts: 500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,16 +130,16 @@ func TestCatalogs(t *testing.T) {
 
 func TestRunExperimentTable2AndErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := RunExperiment("table2", ExperimentOptions{}, &sb); err != nil {
+	if err := RunExperiment(context.Background(), "table2", ExperimentOptions{}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "piggyback") {
 		t.Error("table2 output incomplete")
 	}
-	if err := RunExperiment("fig99", ExperimentOptions{}, &sb); err == nil {
+	if err := RunExperiment(context.Background(), "fig99", ExperimentOptions{}, &sb); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := RunExperiment("fig5", ExperimentOptions{Scale: "bogus"}, &sb); err == nil {
+	if err := RunExperiment(context.Background(), "fig5", ExperimentOptions{CommonOptions: CommonOptions{Scale: "bogus"}}, &sb); err == nil {
 		t.Error("bad scale accepted")
 	}
 }
@@ -147,13 +147,13 @@ func TestRunExperimentTable2AndErrors(t *testing.T) {
 func TestRunExperimentSmallGrid(t *testing.T) {
 	var sb strings.Builder
 	opts := ExperimentOptions{
-		Scale:     "test",
-		Workloads: []string{"espresso", "perl"},
-		Designs:   []string{"T4", "M8", "PB2"},
+		CommonOptions: CommonOptions{Scale: "test"},
+		Workloads:     []string{"espresso", "perl"},
+		Designs:       []string{"T4", "M8", "PB2"},
 	}
 	progressed := false
 	opts.Progress = func(RunProgress) { progressed = true }
-	if err := RunExperiment("fig5", opts, &sb); err != nil {
+	if err := RunExperiment(context.Background(), "fig5", opts, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !progressed {
@@ -163,14 +163,14 @@ func TestRunExperimentSmallGrid(t *testing.T) {
 		t.Error("figure output incomplete")
 	}
 	sb.Reset()
-	if err := RunExperiment("table3", opts, &sb); err != nil {
+	if err := RunExperiment(context.Background(), "table3", opts, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "espresso") {
 		t.Error("table3 output incomplete")
 	}
 	sb.Reset()
-	if err := RunExperiment("fig6", ExperimentOptions{Scale: "test", Workloads: []string{"perl"}}, &sb); err != nil {
+	if err := RunExperiment(context.Background(), "fig6", ExperimentOptions{CommonOptions: CommonOptions{Scale: "test"}, Workloads: []string{"perl"}}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "128") {
@@ -190,7 +190,7 @@ func TestExperimentRegistryDerivedNames(t *testing.T) {
 
 func TestExperimentCSVRejectsNonCSVExperiments(t *testing.T) {
 	var sb strings.Builder
-	err := ExperimentCSV("table2", ExperimentOptions{Scale: "test"}, &sb)
+	err := ExperimentCSV(context.Background(), "table2", ExperimentOptions{CommonOptions: CommonOptions{Scale: "test"}}, &sb)
 	if err == nil {
 		t.Fatal("CSV accepted for a non-grid experiment")
 	}
@@ -199,7 +199,7 @@ func TestExperimentCSVRejectsNonCSVExperiments(t *testing.T) {
 			t.Errorf("rejection does not name %q: %v", want, err)
 		}
 	}
-	err = ExperimentCSV("fig99", ExperimentOptions{Scale: "test"}, &sb)
+	err = ExperimentCSV(context.Background(), "fig99", ExperimentOptions{CommonOptions: CommonOptions{Scale: "test"}}, &sb)
 	if err == nil || !strings.Contains(err.Error(), "table3") {
 		t.Errorf("unknown experiment error does not list known names: %v", err)
 	}
@@ -215,7 +215,7 @@ func TestBaselineConfigRendering(t *testing.T) {
 }
 
 func TestAnalyzeFacade(t *testing.T) {
-	rep, err := Analyze(Options{Workload: "xlisp", Design: "M8", Scale: "test"})
+	rep, err := Analyze(context.Background(), Options{CommonOptions: CommonOptions{Scale: "test"}, Workload: "xlisp", Design: "M8"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,22 +246,22 @@ func TestDisassembleFacade(t *testing.T) {
 }
 
 func TestExtensionOptions(t *testing.T) {
-	base, err := Simulate(Options{Workload: "espresso", Design: "T1", Scale: "test"})
+	base, err := Simulate(context.Background(), Options{CommonOptions: CommonOptions{Scale: "test"}, Workload: "espresso", Design: "T1"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	vc, err := Simulate(Options{Workload: "espresso", Design: "T1", Scale: "test", VirtualCache: true})
+	vc, err := Simulate(context.Background(), Options{CommonOptions: CommonOptions{Scale: "test"}, Workload: "espresso", Design: "T1", VirtualCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if vc.IPC <= base.IPC {
 		t.Errorf("virtual cache IPC %.3f not above physical %.3f on T1", vc.IPC, base.IPC)
 	}
-	cs, err := Simulate(Options{Workload: "xlisp", Design: "M8", Scale: "test", ContextSwitchEvery: 2000})
+	cs, err := Simulate(context.Background(), Options{CommonOptions: CommonOptions{Scale: "test"}, Workload: "xlisp", Design: "M8", ContextSwitchEvery: 2000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := Simulate(Options{Workload: "xlisp", Design: "M8", Scale: "test"})
+	plain, err := Simulate(context.Background(), Options{CommonOptions: CommonOptions{Scale: "test"}, Workload: "xlisp", Design: "M8"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,4 +1,4 @@
-package harness
+package engine
 
 import (
 	"context"
@@ -54,7 +54,7 @@ func (k ckptKey) file(dir string) string {
 // phase span: it gets a source attribute (memory / disk / build) and
 // child spans for singleflight waits, disk loads, and builds.
 func (e *Engine) checkpoint(ctx context.Context, spec RunSpec, p *prog.Program, cfg cpu.Config, sp *runspan.Span) (*ckpt.Checkpoint, error) {
-	tr := e.Spans
+	tr := e.Spans()
 	rt := sp.Trace()
 	key := ckptKey{
 		workload: spec.Workload,
@@ -128,11 +128,11 @@ func (e *Engine) checkpoint(ctx context.Context, spec RunSpec, p *prog.Program, 
 // the checksum inside the codec makes the load failure explicit rather
 // than silent. sp is the run's "checkpoint" phase span (may be nil).
 func (e *Engine) loadOrBuildCheckpoint(ctx context.Context, key ckptKey, p *prog.Program, cfg cpu.Config, sp *runspan.Span) (c *ckpt.Checkpoint, fromDisk bool, err error) {
-	tr := e.Spans
+	tr := e.Spans()
 	rt := sp.Trace()
 	path := ""
-	if e.CkptDir != "" {
-		path = key.file(e.CkptDir)
+	if e.ckptDir != "" {
+		path = key.file(e.ckptDir)
 		lsp := tr.Start(rt, sp, "ckpt_load")
 		c, lerr := ckpt.LoadFile(path)
 		ok := lerr == nil && c.PageSize == key.pageSize && c.FastForward == key.ffwd
@@ -165,9 +165,11 @@ func (e *Engine) loadOrBuildCheckpoint(ctx context.Context, key ckptKey, p *prog
 		return nil, false, err
 	}
 	if path != "" {
-		if mkerr := os.MkdirAll(e.CkptDir, 0o755); mkerr == nil {
-			if werr := c.SaveFile(path); werr != nil && e.Logger != nil {
-				e.Logger.Warn("checkpoint persist failed", "path", path, "error", werr.Error())
+		if mkerr := os.MkdirAll(e.ckptDir, 0o755); mkerr == nil {
+			if werr := c.SaveFile(path); werr != nil {
+				if lg := e.Logger(); lg != nil {
+					lg.Warn("checkpoint persist failed", "path", path, "error", werr.Error())
+				}
 			}
 		}
 	}

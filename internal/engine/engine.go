@@ -1,4 +1,10 @@
-package harness
+// Package engine is the sweep engine layer: it executes RunSpecs with
+// workload-build and RunSpec-memoization caches, singleflight
+// deduplication, fast-forward checkpoint orchestration, a crash-safe
+// resume journal, longest-job-first scheduling, and provenance
+// manifests. The harness package layers the paper's figures and tables
+// on top of it; internal/transport serves it over HTTP (cmd/hbatd).
+package engine
 
 import (
 	"context"
@@ -44,44 +50,58 @@ import (
 //     runs, which cuts the tail latency of a mixed grid, and reports
 //     per-run wall time and a remaining-work ETA through Progress.
 //
-// The zero value is not usable; create one with NewEngine. An Engine is
+// The zero value is not usable; create one with New. An Engine is
 // safe for concurrent use and is meant to be long-lived: one engine per
 // process (or per experiment batch) maximizes reuse.
+//
+// Result-affecting configuration (caches, checkpoint directory, resume
+// journal) is immutable once the engine has run: construct with
+// New(opts...) or use the Set* methods before the first Run/RunAll/
+// PrewarmBuilds call — afterwards they return ErrStarted instead of
+// silently racing the scheduler. Observability sinks (logger, span
+// tracer, heartbeat) may be attached at any time.
 type Engine struct {
-	// NoBuildCache disables program-build reuse; NoMemo disables
+	// noBuildCache disables program-build reuse; noMemo disables
 	// RunSpec memoization. Both exist for A/B benchmarking the caches
-	// (cmd/hbat-bench-sweep) and must be set before first use.
-	NoBuildCache bool
-	NoMemo       bool
+	// (cmd/hbat-bench-sweep); see WithoutBuildCache / WithoutMemo.
+	noBuildCache bool
+	noMemo       bool
 
-	// CkptDir, when non-empty, persists fast-forward checkpoints to
+	// ckptDir, when non-empty, persists fast-forward checkpoints to
 	// disk (one file per (workload, budget, scale, page size, N),
 	// named by the key's fingerprint). A later process with the same
-	// CkptDir skips the functional warm-up entirely. Corrupt or
+	// directory skips the functional warm-up entirely. Corrupt or
 	// mismatched files are rebuilt and overwritten, never trusted.
-	// Set before first use.
-	CkptDir string
+	ckptDir string
 
-	// Logger, when non-nil, receives structured run-scoped events: one
+	// obsMu guards the observability sinks below. Unlike the cache and
+	// checkpoint configuration, sinks carry no result-affecting state,
+	// so they may be attached or replaced at any time — including
+	// mid-sweep; every read goes through Logger/Spans/beat.
+	obsMu sync.RWMutex
+
+	// logger, when non-nil, receives structured run-scoped events: one
 	// debug record when a simulation starts and one info record when it
 	// finishes (or is served from cache), carrying run_id, workload,
-	// design, spec_hash, seed, wall_ms, and the cache disposition. Set
-	// before first use.
-	Logger *slog.Logger
+	// design, spec_hash, seed, wall_ms, and the cache disposition.
+	logger *slog.Logger
 
-	// Heartbeat, when non-nil, is invoked on every dispatch, on every
+	// heartbeatFn, when non-nil, is invoked on every dispatch, on every
 	// in-flight machine's progress tick (~1M cycles), and on every run
-	// completion — the liveness signal the obs watchdog consumes. Set
-	// before first use.
-	Heartbeat func()
+	// completion — the liveness signal the obs watchdog consumes.
+	heartbeatFn func()
 
-	// Spans, when non-nil, receives one trace per run (and one per
+	// spans, when non-nil, receives one trace per run (and one per
 	// RunAll sweep) with a span per phase: program build, checkpoint
 	// load/build, fast-forward, simulate, journal append — cache hits
 	// and singleflight waits as distinct spans with hit/miss
-	// attributes. nil means disabled and costs nothing on the hot
-	// path. Set before first use.
-	Spans *runspan.Tracer
+	// attributes. nil means disabled and costs nothing on the hot path.
+	spans *runspan.Tracer
+
+	// started latches on the first Run/RunAll/PrewarmBuilds call and
+	// freezes the result-affecting configuration above — caches,
+	// checkpoint directory, resume journal (ErrStarted from then on).
+	started atomic.Bool
 
 	builds *workload.BuildCache
 
@@ -128,9 +148,9 @@ type Engine struct {
 	draining atomic.Bool
 }
 
-// NewEngine returns an empty sweep engine.
-func NewEngine() *Engine {
-	return &Engine{
+// New returns an empty sweep engine configured by opts.
+func New(opts ...Option) *Engine {
+	e := &Engine{
 		builds:  workload.NewBuildCache(),
 		memo:    make(map[specKey]*memoEntry),
 		ckpts:   make(map[ckptKey]*ckptEntry),
@@ -138,6 +158,10 @@ func NewEngine() *Engine {
 		agg:     stats.NewRegistry(),
 		wallReg: stats.NewRegistry(),
 	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
 
 // wallBuckets are the per-workload wall-time histogram bounds in
@@ -154,8 +178,8 @@ func (e *Engine) Accepting() bool { return !e.draining.Load() }
 
 // heartbeat signals liveness to the watchdog, if one is attached.
 func (e *Engine) heartbeat() {
-	if e.Heartbeat != nil {
-		e.Heartbeat()
+	if fn := e.beat(); fn != nil {
+		fn()
 	}
 }
 
@@ -427,10 +451,11 @@ func (e *Engine) record(id uint64, spec RunSpec, res *RunResult, cached bool, ph
 
 // runLogger returns the run-scoped logger (nil when logging is off).
 func (e *Engine) runLogger(id uint64, spec RunSpec) *slog.Logger {
-	if e.Logger == nil {
+	lg := e.Logger()
+	if lg == nil {
 		return nil
 	}
-	return e.Logger.With(
+	return lg.With(
 		"run_id", id,
 		"workload", spec.Workload,
 		"design", spec.Design,
@@ -449,7 +474,7 @@ func (e *Engine) buildProgram(spec RunSpec) (*prog.Program, error) {
 // buildProgramObserved is buildProgram plus the cache disposition
 // (fresh build / ready hit / singleflight wait) for the span tracer.
 func (e *Engine) buildProgramObserved(spec RunSpec) (*prog.Program, workload.BuildOutcome, error) {
-	if e.NoBuildCache {
+	if e.noBuildCache {
 		w, err := workload.ByName(spec.Workload)
 		if err != nil {
 			return nil, workload.BuildOutcome{}, err
@@ -464,6 +489,7 @@ func (e *Engine) buildProgramObserved(spec RunSpec) (*prog.Program, workload.Bui
 // engine's build cache, so a timed pass over the same specs measures
 // simulation alone rather than program generation.
 func (e *Engine) PrewarmBuilds(ctx context.Context, specs []RunSpec) error {
+	e.start()
 	type buildKey struct {
 		workload string
 		budget   prog.RegBudget
@@ -490,12 +516,13 @@ func (e *Engine) PrewarmBuilds(ctx context.Context, specs []RunSpec) error {
 // identical spec already ran. A cancelled ctx returns promptly with
 // RunResult.Err set to ctx.Err().
 func (e *Engine) Run(ctx context.Context, spec RunSpec) RunResult {
+	e.start()
 	defer e.done.Add(1)
 	if err := ctx.Err(); err != nil {
 		return RunResult{Spec: spec, Err: err}
 	}
 	e.heartbeat()
-	if e.NoMemo || !spec.cacheable() {
+	if e.noMemo || !spec.cacheable() {
 		res, _ := e.execute(ctx, spec)
 		return res
 	}
@@ -530,7 +557,7 @@ func (e *Engine) Run(ctx context.Context, spec RunSpec) RunResult {
 				return res
 			}
 			e.specMisses.Add(1)
-			jsp := e.Spans.Start(root.Trace(), root, "journal_append")
+			jsp := e.Spans().Start(root.Trace(), root, "journal_append")
 			e.journal.append(spec, &res)
 			jsp.End()
 			ent.res = res
@@ -538,7 +565,7 @@ func (e *Engine) Run(ctx context.Context, spec RunSpec) RunResult {
 			return res
 		}
 		e.mu.Unlock()
-		waitMark := e.Spans.Now()
+		waitMark := e.Spans().Now()
 		select {
 		case <-ctx.Done():
 			return RunResult{Spec: spec, Err: ctx.Err()}
@@ -553,7 +580,7 @@ func (e *Engine) Run(ctx context.Context, spec RunSpec) RunResult {
 		res.Cached = true
 		res.Wall = 0
 		id := e.runSeq.Add(1)
-		if tr := e.Spans; tr.Enabled() {
+		if tr := e.Spans(); tr.Enabled() {
 			// Memo hits get a minimal trace of their own: a root span
 			// covering the (usually zero) wait on the producer, so hit
 			// traffic is visible on the timeline next to real runs.
@@ -588,7 +615,7 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec) (RunResult, *runspan
 	start := time.Now()
 	id := e.runSeq.Add(1)
 	lg := e.runLogger(id, spec)
-	tr := e.Spans
+	tr := e.Spans()
 	var (
 		rt     runspan.TraceID
 		root   *runspan.Span
@@ -697,12 +724,12 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec) (RunResult, *runspan
 	if spec.IntervalEvery > 0 {
 		m.EnableIntervalSampling(spec.IntervalEvery)
 	}
-	if spec.Progress != nil || e.Heartbeat != nil {
+	if beat := e.beat(); spec.Progress != nil || beat != nil {
 		every := spec.ProgressEvery
 		if every <= 0 {
 			every = 1 << 20
 		}
-		user, beat := spec.Progress, e.Heartbeat
+		user := spec.Progress
 		m.SetProgress(every, func(cycle int64, committed uint64) {
 			if beat != nil {
 				beat()
@@ -771,6 +798,7 @@ type Progress struct {
 // machines are interrupted, every unfinished result carries ctx.Err(),
 // and RunAll returns ctx.Err().
 func (e *Engine) RunAll(ctx context.Context, specs []RunSpec, parallelism int, progress func(Progress)) ([]RunResult, error) {
+	e.start()
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -799,10 +827,10 @@ func (e *Engine) RunAll(ctx context.Context, specs []RunSpec, parallelism int, p
 	e.sweep.done, e.sweep.total = 0, len(specs)
 	e.sweep.elapsed, e.sweep.eta = 0, 0
 	e.mu.Unlock()
-	if e.Logger != nil {
-		e.Logger.Info("sweep start", "runs", len(specs), "parallelism", parallelism)
+	if lg := e.Logger(); lg != nil {
+		lg.Info("sweep start", "runs", len(specs), "parallelism", parallelism)
 	}
-	tr := e.Spans
+	tr := e.Spans()
 	var (
 		sweepTrace runspan.TraceID
 		sweepSpan  *runspan.Span
@@ -872,8 +900,8 @@ func (e *Engine) RunAll(ctx context.Context, specs []RunSpec, parallelism int, p
 		}
 		sweepSpan.End()
 	}
-	if e.Logger != nil {
-		e.Logger.Info("sweep done", "runs", len(specs),
+	if lg := e.Logger(); lg != nil {
+		lg.Info("sweep done", "runs", len(specs),
 			"elapsed_ms", float64(time.Since(start).Microseconds())/1e3,
 			"cancelled", ctx.Err() != nil)
 	}

@@ -1,4 +1,4 @@
-package harness
+package engine
 
 import (
 	"context"
@@ -9,70 +9,8 @@ import (
 	"time"
 
 	"hbat/internal/prog"
-	"hbat/internal/tlb"
 	"hbat/internal/workload"
 )
-
-// TestSweepSimulatesEachUniqueSpecOnce is the PR's acceptance check:
-// regenerating table3 + fig5 + fig7 + fig8 + fig9 at test scale from
-// one engine performs each unique workload build exactly once and each
-// unique RunSpec exactly once, observable through the cache counters.
-// Table 3's specs are exactly Figure 5's T4 column, so they are the
-// only repeats across the five artifacts.
-func TestSweepSimulatesEachUniqueSpecOnce(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full design grids")
-	}
-	eng := NewEngine()
-	opts := Options{Scale: workload.ScaleTest, Seed: 1, Engine: eng}
-	ctx := context.Background()
-
-	if _, err := Table3(ctx, opts); err != nil {
-		t.Fatal(err)
-	}
-	for _, fig := range []func(context.Context, Options) (*FigureResult, error){
-		Figure5, Figure7, Figure8, Figure9,
-	} {
-		if _, err := fig(ctx, opts); err != nil {
-			t.Fatal(err)
-		}
-	}
-
-	W := uint64(len(workload.Names()))
-	D := uint64(len(tlb.DesignOrder))
-	cs := eng.CacheStats()
-	// Unique specs: four full grids (table3 duplicates fig5's T4 column).
-	if want := 4 * W * D; cs.SpecMisses != want {
-		t.Errorf("spec misses = %d, want %d (each unique spec simulated once)", cs.SpecMisses, want)
-	}
-	if cs.SpecHits != W {
-		t.Errorf("spec hits = %d, want %d (table3's rows reused by fig5)", cs.SpecHits, W)
-	}
-	// Unique builds: each workload at Budget32 and (for fig9) Budget8.
-	if want := 2 * W; cs.BuildMisses != want {
-		t.Errorf("build misses = %d, want %d (each unique build performed once)", cs.BuildMisses, want)
-	}
-	// Every executed spec requests exactly one build; memo hits skip it.
-	if want := cs.SpecMisses - cs.BuildMisses; cs.BuildHits != want {
-		t.Errorf("build hits = %d, want %d", cs.BuildHits, want)
-	}
-
-	// The counters are exported through the stats registry.
-	snap := eng.MetricsSnapshot()
-	byName := map[string]uint64{}
-	for _, m := range snap {
-		byName[m.Name] = m.Value
-	}
-	if byName["sweep.spec_cache_hits"] != cs.SpecHits ||
-		byName["sweep.spec_cache_misses"] != cs.SpecMisses ||
-		byName["sweep.build_cache_hits"] != cs.BuildHits ||
-		byName["sweep.build_cache_misses"] != cs.BuildMisses {
-		t.Errorf("MetricsSnapshot disagrees with CacheStats: %v vs %+v", byName, cs)
-	}
-	if byName["sweep.runs_executed"] != cs.SpecMisses {
-		t.Errorf("runs_executed = %d, want %d", byName["sweep.runs_executed"], cs.SpecMisses)
-	}
-}
 
 // sweepTestSpecs is a small mixed grid for scheduling tests.
 func sweepTestSpecs() []RunSpec {
@@ -106,7 +44,7 @@ func TestRunAllDeterministicAcrossParallelism(t *testing.T) {
 	for _, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
 		// A fresh engine per level: a shared one would serve repeats from
 		// cache and make the comparison vacuous.
-		results, err := NewEngine().RunAll(context.Background(), specs, par, nil)
+		results, err := New().RunAll(context.Background(), specs, par, nil)
 		if err != nil {
 			t.Fatalf("par=%d: %v", par, err)
 		}
@@ -131,7 +69,7 @@ func TestRunAllDeterministicAcrossParallelism(t *testing.T) {
 // served from cache (flagged Cached, same results), and a different
 // seed is not.
 func TestRunMemoServesRepeats(t *testing.T) {
-	eng := NewEngine()
+	eng := New()
 	spec := sweepTestSpecs()[0]
 	ctx := context.Background()
 
@@ -171,7 +109,7 @@ func TestRunMemoServesRepeats(t *testing.T) {
 // the program bit-identical, do the same architected work, and still
 // diverge in their timing statistics.
 func TestBuildCacheSharesImmutablePrograms(t *testing.T) {
-	eng := NewEngine()
+	eng := New()
 	spec := RunSpec{
 		Workload: "compress", Design: "T4", Budget: prog.Budget32,
 		Scale: workload.ScaleTest, PageSize: 4096, Seed: 1,
@@ -239,7 +177,7 @@ func TestBuildCacheSharesImmutablePrograms(t *testing.T) {
 // simulation is running and asserts the machine stops at the next
 // cycle-granular check with the bare context error.
 func TestRunCancellationInterruptsInFlight(t *testing.T) {
-	eng := NewEngine()
+	eng := New()
 	spec := RunSpec{
 		Workload: "compress", Design: "T4", Budget: prog.Budget32,
 		Scale: workload.ScaleSmall, PageSize: 4096, Seed: 1,
@@ -285,7 +223,7 @@ func TestRunAllCancellationStopsDispatch(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 		cancel()
 	}()
-	results, err := NewEngine().RunAll(ctx, specs, 2, nil)
+	results, err := New().RunAll(ctx, specs, 2, nil)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("RunAll err = %v, want context.Canceled", err)
 	}
@@ -316,7 +254,7 @@ func TestRunAllProgressCarriesTimings(t *testing.T) {
 	specs := sweepTestSpecs()
 	lastDone := 0
 	sawWall := false
-	results, err := NewEngine().RunAll(context.Background(), specs, 2, func(p Progress) {
+	results, err := New().RunAll(context.Background(), specs, 2, func(p Progress) {
 		if p.Done != lastDone+1 {
 			t.Errorf("Done jumped from %d to %d", lastDone, p.Done)
 		}
@@ -353,9 +291,7 @@ func TestRunAllProgressCarriesTimings(t *testing.T) {
 // TestEngineDisableFlags pins the benchmarking switches: NoMemo forces
 // every spec to execute, NoBuildCache forces every build.
 func TestEngineDisableFlags(t *testing.T) {
-	eng := NewEngine()
-	eng.NoMemo = true
-	eng.NoBuildCache = true
+	eng := New(WithoutMemo(), WithoutBuildCache())
 	spec := sweepTestSpecs()[0]
 	for i := 0; i < 2; i++ {
 		if r := eng.Run(context.Background(), spec); r.Err != nil {

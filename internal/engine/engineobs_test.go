@@ -1,4 +1,4 @@
-package harness
+package engine
 
 import (
 	"bytes"
@@ -13,7 +13,7 @@ import (
 // provenance log complete, run metrics merged into the live aggregate,
 // and per-workload wall-time histograms covering every executed run.
 func TestEngineLiveStateSettles(t *testing.T) {
-	eng := NewEngine()
+	eng := New()
 	specs := sweepTestSpecs()
 	results, err := eng.RunAll(context.Background(), specs, 3, nil)
 	if err != nil {
@@ -87,8 +87,7 @@ func TestEngineLiveStateSettles(t *testing.T) {
 // carrying the run-scoped attributes.
 func TestEngineRunLoggerEmitsRunScopedRecords(t *testing.T) {
 	var buf bytes.Buffer
-	eng := NewEngine()
-	eng.Logger = slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	eng := New(WithLogger(slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))))
 
 	spec := sweepTestSpecs()[0]
 	ctx := context.Background()
@@ -120,9 +119,8 @@ func TestEngineRunLoggerEmitsRunScopedRecords(t *testing.T) {
 // TestEngineHeartbeatFires checks the watchdog hook: dispatch, progress
 // ticks, and completion all touch the heartbeat.
 func TestEngineHeartbeatFires(t *testing.T) {
-	eng := NewEngine()
 	beats := 0
-	eng.Heartbeat = func() { beats++ } // Run is called serially here
+	eng := New(WithHeartbeat(func() { beats++ })) // Run is called serially here
 	spec := sweepTestSpecs()[0]
 	spec.ProgressEvery = 1000
 	if r := eng.Run(context.Background(), spec); r.Err != nil {

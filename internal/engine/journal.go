@@ -1,4 +1,4 @@
-package harness
+package engine
 
 import (
 	"bytes"
@@ -39,9 +39,13 @@ type journal struct {
 // absent. Existing records are loaded and served as memo hits, so a
 // sweep interrupted mid-run resumes from where it stopped and — because
 // simulations are deterministic — renders byte-identical artifacts.
-// Returns the number of completed runs resumed. Set before first use,
-// like the engine's other configuration fields.
+// Returns the number of completed runs resumed. Like the engine's
+// other configuration, the journal must be attached before first use:
+// once the engine has run, SetJournal returns ErrStarted.
 func (e *Engine) SetJournal(path string) (int, error) {
+	if e.started.Load() {
+		return 0, ErrStarted
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return 0, err

@@ -1,4 +1,4 @@
-package harness
+package engine
 
 import (
 	"crypto/sha256"

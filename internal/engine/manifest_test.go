@@ -1,4 +1,4 @@
-package harness
+package engine
 
 import (
 	"bytes"
@@ -21,7 +21,7 @@ import (
 // seed and cached flag, and exact SHA-256s for file and in-memory
 // artifacts.
 func TestManifestProvenance(t *testing.T) {
-	eng := NewEngine()
+	eng := New()
 	spec := RunSpec{
 		Workload: "espresso", Design: "T4", Budget: prog.Budget32,
 		Scale: workload.ScaleTest, PageSize: 4096, Seed: 7,

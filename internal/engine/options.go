@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"errors"
+	"log/slog"
+
+	"hbat/internal/prog"
+	"hbat/internal/runspan"
+)
+
+// ErrStarted is returned by the result-affecting Set* methods
+// (SetCheckpointDir, SetJournal) once the engine has executed work:
+// that configuration is frozen at first use so a concurrent scheduler
+// never observes a half-applied change. Observability sinks
+// (SetLogger, SetSpans, SetHeartbeat) are exempt and may be attached
+// at any time.
+var ErrStarted = errors.New("engine: configuration is frozen after first run")
+
+// Option configures an Engine at construction (New).
+type Option func(*Engine)
+
+// WithCheckpointDir persists fast-forward checkpoints under dir (one
+// file per warm-up key); a later engine with the same dir skips the
+// functional warm-up entirely. Empty keeps checkpoints in memory only.
+func WithCheckpointDir(dir string) Option {
+	return func(e *Engine) { e.ckptDir = dir }
+}
+
+// WithLogger attaches a structured logger receiving run-scoped events.
+func WithLogger(l *slog.Logger) Option {
+	return func(e *Engine) { e.logger = l }
+}
+
+// WithSpans attaches a span tracer receiving one trace per run and per
+// sweep. A nil tracer means disabled and costs nothing on the hot path.
+func WithSpans(tr *runspan.Tracer) Option {
+	return func(e *Engine) { e.spans = tr }
+}
+
+// WithHeartbeat attaches a liveness callback invoked on dispatch,
+// progress ticks, and run completion — the signal the obs watchdog
+// consumes.
+func WithHeartbeat(fn func()) Option {
+	return func(e *Engine) { e.heartbeatFn = fn }
+}
+
+// WithoutBuildCache disables program-build reuse (A/B benchmarking).
+func WithoutBuildCache() Option {
+	return func(e *Engine) { e.noBuildCache = true }
+}
+
+// WithoutMemo disables RunSpec memoization (A/B benchmarking).
+func WithoutMemo() Option {
+	return func(e *Engine) { e.noMemo = true }
+}
+
+// start latches the engine as started, freezing its configuration.
+func (e *Engine) start() { e.started.Store(true) }
+
+// setConfig runs apply unless the engine has started.
+func (e *Engine) setConfig(apply func()) error {
+	if e.started.Load() {
+		return ErrStarted
+	}
+	apply()
+	return nil
+}
+
+// SetCheckpointDir redirects checkpoint persistence to dir; "" disables
+// it. Returns ErrStarted once the engine has run.
+func (e *Engine) SetCheckpointDir(dir string) error {
+	return e.setConfig(func() { e.ckptDir = dir })
+}
+
+// SetLogger replaces the engine's logger (nil disables logging).
+// Observability sinks carry no result-affecting state, so unlike the
+// cache and checkpoint configuration they may be attached at any time,
+// including mid-sweep.
+func (e *Engine) SetLogger(l *slog.Logger) {
+	e.obsMu.Lock()
+	e.logger = l
+	e.obsMu.Unlock()
+}
+
+// SetSpans replaces the engine's span tracer (nil disables tracing).
+// Safe at any time, including mid-sweep; see SetLogger.
+func (e *Engine) SetSpans(tr *runspan.Tracer) {
+	e.obsMu.Lock()
+	e.spans = tr
+	e.obsMu.Unlock()
+}
+
+// SetHeartbeat replaces the engine's liveness callback (nil detaches
+// it). Safe at any time, including mid-sweep; see SetLogger.
+func (e *Engine) SetHeartbeat(fn func()) {
+	e.obsMu.Lock()
+	e.heartbeatFn = fn
+	e.obsMu.Unlock()
+}
+
+// Spans returns the engine's span tracer (nil when tracing is off).
+func (e *Engine) Spans() *runspan.Tracer {
+	e.obsMu.RLock()
+	defer e.obsMu.RUnlock()
+	return e.spans
+}
+
+// Logger returns the engine's logger (nil when logging is off).
+func (e *Engine) Logger() *slog.Logger {
+	e.obsMu.RLock()
+	defer e.obsMu.RUnlock()
+	return e.logger
+}
+
+// beat returns the engine's liveness callback (nil when detached).
+func (e *Engine) beat() func() {
+	e.obsMu.RLock()
+	defer e.obsMu.RUnlock()
+	return e.heartbeatFn
+}
+
+// CheckpointDir returns the engine's checkpoint directory ("" when
+// disk persistence is off).
+func (e *Engine) CheckpointDir() string { return e.ckptDir }
+
+// BuildProgram resolves a spec's program through the engine's build
+// cache (unless the cache is disabled) — the functional-only entry
+// point Figure 6 and tooling use when they need the program without a
+// timing run.
+func (e *Engine) BuildProgram(spec RunSpec) (*prog.Program, error) {
+	e.start()
+	return e.buildProgram(spec)
+}

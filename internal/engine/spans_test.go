@@ -1,4 +1,4 @@
-package harness
+package engine
 
 import (
 	"bytes"
@@ -31,9 +31,9 @@ func spansByName(tr *runspan.Tracer) map[string][]runspan.SpanData {
 // wait on the producer as a memo_wait span. The phase wall times land
 // in the provenance log.
 func TestRunEmitsPhaseSpans(t *testing.T) {
-	eng := NewEngine()
+	eng := New()
 	tr := runspan.New(runspan.Config{})
-	eng.Spans = tr
+	eng.SetSpans(tr)
 	spec := sweepTestSpecs()[0]
 	ctx := context.Background()
 
@@ -123,10 +123,9 @@ func TestCheckpointSpans(t *testing.T) {
 	}
 	ctx := context.Background()
 
-	eng := NewEngine()
-	eng.CkptDir = dir
+	eng := New(WithCheckpointDir(dir))
 	tr := runspan.New(runspan.Config{})
-	eng.Spans = tr
+	eng.SetSpans(tr)
 	if r := eng.Run(ctx, mk("T4")); r.Err != nil {
 		t.Fatal(r.Err)
 	}
@@ -173,10 +172,9 @@ func TestCheckpointSpans(t *testing.T) {
 	}
 
 	// A fresh engine sharing the dir serves the checkpoint from disk.
-	eng2 := NewEngine()
-	eng2.CkptDir = dir
+	eng2 := New(WithCheckpointDir(dir))
 	tr2 := runspan.New(runspan.Config{})
-	eng2.Spans = tr2
+	eng2.SetSpans(tr2)
 	if r := eng2.Run(ctx, mk("T4")); r.Err != nil {
 		t.Fatal(r.Err)
 	}
@@ -198,9 +196,9 @@ func TestCheckpointSpans(t *testing.T) {
 // visible in Open() while blocked, finished once the producer closes
 // the entry. A ready entry (the common memory hit) must NOT get one.
 func TestSingleflightWaitSpan(t *testing.T) {
-	eng := NewEngine()
+	eng := New()
 	tr := runspan.New(runspan.Config{})
-	eng.Spans = tr
+	eng.SetSpans(tr)
 	spec := RunSpec{
 		Workload: "espresso", Design: "T4", Budget: prog.Budget32,
 		Scale: workload.ScaleTest, PageSize: 4096, Seed: 1, FastForward: 100,
@@ -269,9 +267,9 @@ func TestSingleflightWaitSpan(t *testing.T) {
 // span carrying the grid size, and a sched_gap span per dispatched
 // spec measuring how long it sat queued.
 func TestRunAllSweepSpans(t *testing.T) {
-	eng := NewEngine()
+	eng := New()
 	tr := runspan.New(runspan.Config{})
-	eng.Spans = tr
+	eng.SetSpans(tr)
 	specs := sweepTestSpecs()
 	results, err := eng.RunAll(context.Background(), specs, 2, nil)
 	if err != nil {
@@ -319,9 +317,10 @@ func TestRunAllSweepSpans(t *testing.T) {
 // when span tracing is on.
 func TestRunLoggerCarriesSpanIDs(t *testing.T) {
 	var buf bytes.Buffer
-	eng := NewEngine()
-	eng.Logger = slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
-	eng.Spans = runspan.New(runspan.Config{})
+	eng := New(
+		WithLogger(slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))),
+		WithSpans(runspan.New(runspan.Config{})),
+	)
 	if r := eng.Run(context.Background(), sweepTestSpecs()[0]); r.Err != nil {
 		t.Fatal(r.Err)
 	}

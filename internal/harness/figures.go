@@ -262,7 +262,7 @@ func Figure6(ctx context.Context, opts Options, weights map[string]float64) (*Fi
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		p, err := eng.buildProgram(RunSpec{Workload: name, Budget: prog.Budget32, Scale: opts.Scale})
+		p, err := eng.BuildProgram(RunSpec{Workload: name, Budget: prog.Budget32, Scale: opts.Scale})
 		if err != nil {
 			return nil, err
 		}

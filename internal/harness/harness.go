@@ -4,121 +4,91 @@
 // Table 3's program characterization, Figure 5's baseline comparison,
 // Figure 6's TLB miss rates, Figure 7's in-order issue study, Figure
 // 8's 8 KB-page study, and Figure 9's reduced-register study).
+//
+// The execution layer — caching, scheduling, checkpoints, journals,
+// manifests — lives in internal/engine; harness layers the paper's
+// figures and tables on top and re-exports the engine types under
+// their historical names.
 package harness
 
 import (
 	"context"
-	"fmt"
-	"time"
 
-	"hbat/internal/cpu"
-	"hbat/internal/prog"
-	"hbat/internal/ptrace"
-	"hbat/internal/stats"
+	"hbat/internal/engine"
 	"hbat/internal/tlb"
 	"hbat/internal/workload"
 )
 
-// RunSpec names one simulation: a workload on one machine configuration
-// with one translation design.
-type RunSpec struct {
-	Workload string
-	Design   string
-	Budget   prog.RegBudget
-	Scale    workload.Scale
-	PageSize uint64
-	InOrder  bool
-	Seed     uint64
-	MaxInsts uint64 // optional commit cap (0 = run to Halt)
+// Engine is the sweep engine (see internal/engine.Engine): two layers
+// of caching, singleflight deduplication, and a cancellable
+// longest-job-first scheduler.
+type Engine = engine.Engine
 
-	// FastForward, when positive, executes the first N instructions on
-	// the functional emulator (warming TLB, cache, and predictor state)
-	// and measures only the remainder cycle-accurately — the two-phase
-	// methodology (cpu.Config.FastForward). An Engine builds one warmed
-	// checkpoint per (workload, budget, scale, page size, N) and shares
-	// it across every design in a grid; N must be smaller than the
-	// workload's functional instruction count.
-	FastForward uint64
+// EngineOption configures an Engine at construction.
+type EngineOption = engine.Option
 
-	// FFwdEngine selects the functional engine for the warm-up
-	// (ckpt.BuildConfig.Engine): "" or "sblock" for the superblock-
-	// translated engine, "interp" for the reference interpreter. The
-	// two engines produce byte-identical checkpoints (a differential
-	// battery in internal/ckpt enforces this), so FFwdEngine is
-	// deliberately EXCLUDED from both the RunSpec memoization key and
-	// the checkpoint cache key: results and checkpoints are shared
-	// across engine choices.
-	FFwdEngine string
+// Engine construction options, re-exported from internal/engine.
+var (
+	WithCheckpointDir = engine.WithCheckpointDir
+	WithLogger        = engine.WithLogger
+	WithSpans         = engine.WithSpans
+	WithHeartbeat     = engine.WithHeartbeat
+	WithoutBuildCache = engine.WithoutBuildCache
+	WithoutMemo       = engine.WithoutMemo
+)
 
-	// Extensions beyond the paper's grid.
-	VirtualCache       bool
-	ContextSwitchEvery uint64
+// ErrStarted is returned by the engine's Set* methods once it has run.
+var ErrStarted = engine.ErrStarted
 
-	// Lockstep turns on the golden-model differential checker
-	// (cpu.Config.Lockstep): any architected-state divergence surfaces
-	// as the run's Err instead of silently skewing the statistics.
-	Lockstep bool
+// NewEngine returns an empty sweep engine configured by opts.
+func NewEngine(opts ...EngineOption) *Engine { return engine.New(opts...) }
 
-	// Trace, when non-nil, records pipeline events into a ring buffer
-	// returned as RunResult.Trace (see internal/ptrace).
-	Trace *ptrace.Config
-	// IntervalEvery, when positive, samples interval time-series rows
-	// every N cycles into RunResult.Intervals.
-	IntervalEvery int64
-	// Progress, when non-nil, is called every ProgressEvery cycles
-	// (default 1<<20) with the live cycle and committed-instruction
-	// counts — the -progress heartbeat.
-	Progress      func(cycle int64, committed uint64)
-	ProgressEvery int64
-}
-
-func (s RunSpec) String() string {
-	mode := "ooo"
-	if s.InOrder {
-		mode = "inorder"
-	}
-	return fmt.Sprintf("%s/%s/%s/%dk-pages/%s", s.Workload, s.Design, mode, s.PageSize/1024, s.Budget)
-}
+// RunSpec names one simulation: a workload on one machine
+// configuration with one translation design.
+type RunSpec = engine.RunSpec
 
 // RunResult is one simulation's outcome.
-type RunResult struct {
-	Spec    RunSpec
-	Stats   cpu.Stats
-	TLB     tlb.Stats
-	Metrics stats.Snapshot
-	Err     error
+type RunResult = engine.RunResult
 
-	// Wall is the run's wall-clock time (zero for memo-cache hits).
-	Wall time.Duration
-	// Cached reports the result was served from an Engine's RunSpec
-	// memoization cache instead of being simulated.
-	Cached bool
+// Progress is one scheduler update, delivered after each completed run.
+type Progress = engine.Progress
 
-	// Trace holds the recorded pipeline events when Spec.Trace was set.
-	Trace *ptrace.Recorder
-	// Intervals holds the sampled time series when Spec.IntervalEvery
-	// was positive.
-	Intervals *stats.IntervalSeries
-}
+// CacheStats is a point-in-time read of an engine's cache counters.
+type CacheStats = engine.CacheStats
+
+// EngineState is a point-in-time read of an engine's live scheduler
+// state.
+type EngineState = engine.EngineState
+
+// RunRecord is one entry of an engine's provenance log.
+type RunRecord = engine.RunRecord
+
+// Manifest is the run-provenance record emitted alongside sweep
+// artifacts.
+type Manifest = engine.Manifest
+
+// ManifestArtifact is one rendered output with its SHA-256.
+type ManifestArtifact = engine.ManifestArtifact
+
+// NewManifest returns a manifest stamped with the build's identity.
+var NewManifest = engine.NewManifest
 
 // Run executes one simulation on a private engine. Callers that run
 // more than one spec should use an Engine (or RunAll) to share builds
 // and memoized results.
-func Run(spec RunSpec) RunResult {
-	return RunContext(context.Background(), spec)
-}
+func Run(spec RunSpec) RunResult { return engine.Run(spec) }
 
 // RunContext executes one simulation on a private engine, honoring ctx
 // cancellation at a cycle-granular check.
 func RunContext(ctx context.Context, spec RunSpec) RunResult {
-	return NewEngine().Run(ctx, spec)
+	return engine.RunContext(ctx, spec)
 }
 
 // RunAll executes specs on a private engine with bounded parallelism
 // (0 = GOMAXPROCS); see Engine.RunAll for the scheduling and
 // cancellation contract.
 func RunAll(ctx context.Context, specs []RunSpec, parallelism int, progress func(Progress)) ([]RunResult, error) {
-	return NewEngine().RunAll(ctx, specs, parallelism, progress)
+	return engine.RunAll(ctx, specs, parallelism, progress)
 }
 
 // Options configures an experiment run.

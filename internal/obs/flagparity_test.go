@@ -36,6 +36,7 @@ func TestFlagParityAcrossBinaries(t *testing.T) {
 		{"hbat-missrates", []string{"-h"}},
 		{"hbat-bench-sweep", []string{"-h"}},
 		{"hbat-trace", []string{"capture", "-h"}},
+		{"hbatd", []string{"-h"}},
 	}
 	dir := t.TempDir()
 	for _, b := range bins {

@@ -85,7 +85,7 @@ func (f *Flags) Setup(ctx context.Context, logw io.Writer, engine *harness.Engin
 		return nil, nil, err
 	}
 	if engine != nil {
-		engine.Logger = logger
+		engine.SetLogger(logger)
 	}
 	if f.Spans {
 		tr := runspan.New(runspan.Config{})
@@ -94,7 +94,7 @@ func (f *Flags) Setup(ctx context.Context, logw io.Writer, engine *harness.Engin
 		}
 		f.tracer = tr
 		if engine != nil {
-			engine.Spans = tr
+			engine.SetSpans(tr)
 		}
 	}
 	if f.Addr == "" {
@@ -104,7 +104,7 @@ func (f *Flags) Setup(ctx context.Context, logw io.Writer, engine *harness.Engin
 	if f.Watchdog > 0 {
 		wd = NewWatchdog(f.Watchdog)
 		if engine != nil {
-			engine.Heartbeat = wd.Touch
+			engine.SetHeartbeat(wd.Touch)
 		}
 	}
 	srv, err := Start(Config{

@@ -63,10 +63,11 @@ func check(name string, f *os.File) {
 // aggregates, watchdog, exposition rendering, parser — with real data
 // from one simulation.
 func staticCheck() error {
-	eng := harness.NewEngine()
 	wd := obs.NewWatchdog(time.Minute)
-	eng.Heartbeat = wd.Touch
-	eng.Spans = runspan.New(runspan.Config{})
+	eng := harness.NewEngine(
+		harness.WithHeartbeat(wd.Touch),
+		harness.WithSpans(runspan.New(runspan.Config{})),
+	)
 	res := eng.Run(context.Background(), harness.RunSpec{
 		Workload: "espresso", Design: "T4", Budget: prog.Budget32,
 		Scale: workload.ScaleTest, PageSize: 4096, Seed: 1,

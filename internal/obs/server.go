@@ -62,6 +62,14 @@ type Server struct {
 	scrapes atomic.Uint64
 }
 
+// NewHandler returns the observability routing table for cfg without
+// opening a listener or goroutine — for mounting the obs endpoints on
+// another server's mux (cmd/hbatd serves them next to the job API).
+func NewHandler(cfg Config) http.Handler {
+	s := &Server{cfg: cfg, start: time.Now()}
+	return s.Handler()
+}
+
 // Start opens the listener and serves in a background goroutine.
 func Start(cfg Config) (*Server, error) {
 	ln, err := net.Listen("tcp", cfg.Addr)

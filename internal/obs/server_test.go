@@ -35,7 +35,7 @@ func testSpecs() []harness.RunSpec {
 func TestMetricsScrapeDuringSweep(t *testing.T) {
 	eng := harness.NewEngine()
 	wd := NewWatchdog(time.Minute)
-	eng.Heartbeat = wd.Touch
+	eng.SetHeartbeat(wd.Touch)
 	srv := &Server{cfg: Config{Engine: eng, Watchdog: wd}, start: time.Now()}
 	h := srv.Handler()
 

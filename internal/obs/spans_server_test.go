@@ -75,7 +75,7 @@ func TestDebugSpansEndpoint(t *testing.T) {
 func TestHealthReadyDuringDrain(t *testing.T) {
 	eng := harness.NewEngine()
 	wd := NewWatchdog(time.Minute)
-	eng.Heartbeat = wd.Touch
+	eng.SetHeartbeat(wd.Touch)
 	srv := &Server{cfg: Config{Engine: eng, Watchdog: wd}, start: time.Now()}
 	h := srv.Handler()
 

@@ -175,7 +175,7 @@ func Generate(ctx context.Context, w io.Writer, opts harness.Options, figures []
 
 	// The HTML render gets its own span (rendering is per-artifact,
 	// not per-run) on the engine's tracer when one is attached.
-	if tr := opts.Engine.Spans; tr.Enabled() {
+	if tr := opts.Engine.Spans(); tr.Enabled() {
 		sp := tr.Start(tr.NewTrace(), nil, "render").SetAttr("artifact", "report.html")
 		defer sp.End()
 	}

@@ -102,6 +102,12 @@ type Tracer struct {
 	recCap  int
 	micro   []microTrack
 
+	// subs are live feeds of finished spans (Subscribe); sends never
+	// block — a subscriber that falls behind loses spans, not the
+	// tracer its latency.
+	subs   map[uint64]chan SpanData
+	subSeq uint64
+
 	journal *journalWriter
 }
 
@@ -253,8 +259,46 @@ func (t *Tracer) finishLocked(d SpanData) {
 		t.recent[t.recentN%t.recCap] = d
 	}
 	t.recentN++
+	for _, ch := range t.subs {
+		select {
+		case ch <- d:
+		default: // slow subscriber: drop, never block the hot path
+		}
+	}
 	if t.journal != nil {
 		t.journal.append(d, d.Parent == 0)
+	}
+}
+
+// Subscribe registers a live feed of finished spans, buffered to buf
+// (minimum 1). The feed is lossy by design: a subscriber that does not
+// drain fast enough misses spans rather than stalling End. Cancel
+// unregisters and closes the channel; it is safe to call twice.
+// Subscribing to a nil (disabled) tracer returns a nil channel —
+// which blocks forever in a select — and a no-op cancel.
+func (t *Tracer) Subscribe(buf int) (<-chan SpanData, func()) {
+	if t == nil {
+		return nil, func() {}
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan SpanData, buf)
+	t.mu.Lock()
+	if t.subs == nil {
+		t.subs = make(map[uint64]chan SpanData)
+	}
+	t.subSeq++
+	id := t.subSeq
+	t.subs[id] = ch
+	t.mu.Unlock()
+	return ch, func() {
+		t.mu.Lock()
+		if _, ok := t.subs[id]; ok {
+			delete(t.subs, id)
+			close(ch)
+		}
+		t.mu.Unlock()
 	}
 }
 

@@ -1,0 +1,404 @@
+// Package store is the content-addressed result store of the sweep
+// fabric: rendered artifacts keyed by spec fingerprint (the engine's
+// RunSpec.Hash), verified by SHA-256, held in a bounded in-memory LRU
+// over an optional disk layer, with per-tenant admission quotas.
+//
+// The store never trusts bytes it did not just hash: disk loads
+// recompute the content hash and treat a mismatch as a miss (the
+// corrupt file is deleted, the caller re-renders). Artifacts are
+// immutable — a key maps to exactly one byte sequence, so a Put of
+// different bytes under an existing key is rejected rather than
+// silently replacing a served artifact.
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// ErrQuota is returned by Put when the writing tenant's attributed
+// bytes would exceed the per-tenant quota. The caller maps it to HTTP
+// 429.
+var ErrQuota = errors.New("store: tenant quota exceeded")
+
+// ErrMismatch is returned by Put when the key already holds different
+// bytes — content-addressed entries are immutable.
+var ErrMismatch = errors.New("store: key already holds different content")
+
+// Config sizes a Store. Zero values mean: memory-only (no Dir),
+// a 64 MiB memory layer, unlimited disk, unlimited tenants.
+type Config struct {
+	// Dir, when non-empty, is the disk layer: one file per artifact,
+	// written atomically (temp + rename), carrying a self-describing
+	// header (sha256 + owning tenant) over the raw bytes. An existing
+	// directory is re-indexed on New, so a restarted service serves
+	// its previous results without re-simulating.
+	Dir string
+	// MemBytes bounds the in-memory layer (artifact bytes, not index
+	// overhead). Least-recently-used artifacts spill to disk-only; with
+	// no Dir they are evicted entirely. <= 0 means the 64 MiB default.
+	MemBytes int64
+	// DiskBytes, when > 0, bounds the disk layer; least-recently-used
+	// files are deleted once the total exceeds it.
+	DiskBytes int64
+	// TenantQuotaBytes, when > 0, bounds the live bytes attributed to
+	// any one tenant (the tenant whose Put first stored the artifact).
+	// Eviction refunds the owning tenant, so the quota bounds resident
+	// footprint, not lifetime traffic.
+	TenantQuotaBytes int64
+}
+
+// Stats is a point-in-time read of the store's counters.
+type Stats struct {
+	// MemHits/DiskHits/Misses classify Gets. A disk hit re-verifies
+	// the content hash and promotes the artifact back into memory.
+	MemHits, DiskHits, Misses uint64
+	// Puts counts accepted writes; DupPuts counts Puts of bytes the
+	// store already held (served as success without rewriting).
+	Puts, DupPuts uint64
+	// MemEvictions counts artifacts spilled out of the memory layer;
+	// DiskEvictions counts files deleted by the disk budget.
+	MemEvictions, DiskEvictions uint64
+	// Corrupt counts disk loads whose content hash did not match.
+	Corrupt uint64
+	// Entries/MemBytes/DiskBytes describe current occupancy.
+	Entries   int
+	MemBytes  int64
+	DiskBytes int64
+}
+
+// entry is one stored artifact. data is nil when the artifact has been
+// spilled to disk-only; sha and size always describe the content.
+type entry struct {
+	key    string
+	sha    string
+	tenant string
+	size   int64
+	data   []byte
+	// onDisk tracks whether the artifact file exists, so accounting
+	// survives a failed write (memory-only entry in a disk-backed
+	// store) and a disk eviction of a still-hot entry.
+	onDisk bool
+	elem   *list.Element
+}
+
+// Store is a bounded, content-verified artifact cache. Safe for
+// concurrent use.
+type Store struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	// lru orders entries most-recently-used first; spill and eviction
+	// walk it from the back. One list covers both layers: an entry's
+	// position reflects its last Get/Put regardless of where its bytes
+	// live.
+	lru       *list.List
+	memBytes  int64
+	diskBytes int64
+	tenants   map[string]int64
+
+	stats Stats
+}
+
+const defaultMemBytes = 64 << 20
+
+// New opens a store. With cfg.Dir set, existing artifact files are
+// indexed (header-only read) so previous results stay servable; files
+// that fail to parse are deleted.
+func New(cfg Config) (*Store, error) {
+	if cfg.MemBytes <= 0 {
+		cfg.MemBytes = defaultMemBytes
+	}
+	s := &Store{
+		cfg:     cfg,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+		tenants: make(map[string]int64),
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if err := s.reindex(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Key reports whether k looks like a spec fingerprint (lowercase hex),
+// the only shape the store files under. Rejecting anything else keeps
+// path traversal out of the disk layer.
+func Key(k string) bool {
+	if len(k) == 0 || len(k) > 64 {
+		return false
+	}
+	for _, c := range k {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.cfg.Dir, key+".art")
+}
+
+// header is the first line of an artifact file: "sha256hex tenant\n".
+// The raw artifact bytes follow, so the stored content hash covers
+// exactly what Get returns.
+func header(sha, tenant string) []byte {
+	return []byte(sha + " " + tenant + "\n")
+}
+
+// parseFile splits an artifact file into header fields and content.
+func parseFile(raw []byte) (sha, tenant string, data []byte, err error) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return "", "", nil, errors.New("no header line")
+	}
+	fields := strings.Fields(string(raw[:nl]))
+	if len(fields) != 2 || len(fields[0]) != 64 {
+		return "", "", nil, errors.New("malformed header")
+	}
+	return fields[0], fields[1], raw[nl+1:], nil
+}
+
+// reindex scans the disk layer and rebuilds the index without loading
+// artifact bytes into memory. Unparseable files are deleted.
+func (s *Store) reindex() error {
+	paths, err := filepath.Glob(filepath.Join(s.cfg.Dir, "*.art"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		key := strings.TrimSuffix(filepath.Base(p), ".art")
+		sha, tenant, data, perr := parseFile(raw)
+		if perr != nil || !Key(key) {
+			os.Remove(p)
+			continue
+		}
+		e := &entry{key: key, sha: sha, tenant: tenant, size: int64(len(data)), onDisk: true}
+		e.elem = s.lru.PushBack(e)
+		s.entries[key] = e
+		s.diskBytes += e.size
+		s.tenants[tenant] += e.size
+	}
+	return nil
+}
+
+// Get returns the artifact stored under key and its SHA-256 hex. A
+// disk-only entry is verified against its recorded hash and promoted
+// into the memory layer; a corrupt file is deleted and reported as a
+// miss.
+func (s *Store) Get(key string) (data []byte, sha string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, found := s.entries[key]
+	if !found {
+		s.stats.Misses++
+		return nil, "", false
+	}
+	if e.data != nil {
+		s.stats.MemHits++
+		s.lru.MoveToFront(e.elem)
+		return e.data, e.sha, true
+	}
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.dropLocked(e)
+		s.stats.Misses++
+		return nil, "", false
+	}
+	fsha, _, fdata, perr := parseFile(raw)
+	if perr != nil || fsha != e.sha || hash(fdata) != e.sha {
+		os.Remove(s.path(key))
+		s.dropLocked(e)
+		s.stats.Corrupt++
+		s.stats.Misses++
+		return nil, "", false
+	}
+	e.data = fdata
+	s.memBytes += e.size
+	s.lru.MoveToFront(e.elem)
+	s.spillLocked()
+	s.stats.DiskHits++
+	return fdata, e.sha, true
+}
+
+// Put stores data under key, attributed to tenant, and returns the
+// content's SHA-256 hex. Re-putting identical bytes is a cheap no-op;
+// different bytes under an existing key return ErrMismatch; exceeding
+// the tenant's quota returns ErrQuota before anything is written.
+func (s *Store) Put(tenant, key string, data []byte) (string, error) {
+	if !Key(key) {
+		return "", fmt.Errorf("store: invalid key %q", key)
+	}
+	sha := hash(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, found := s.entries[key]; found {
+		if e.sha != sha {
+			return "", ErrMismatch
+		}
+		s.stats.DupPuts++
+		s.lru.MoveToFront(e.elem)
+		return sha, nil
+	}
+	size := int64(len(data))
+	if q := s.cfg.TenantQuotaBytes; q > 0 && s.tenants[tenant]+size > q {
+		return "", ErrQuota
+	}
+	e := &entry{key: key, sha: sha, tenant: tenant, size: size, data: data}
+	e.elem = s.lru.PushFront(e)
+	s.entries[key] = e
+	s.memBytes += size
+	s.tenants[tenant] += size
+	s.stats.Puts++
+	if s.cfg.Dir != "" {
+		if err := s.writeFile(key, sha, tenant, data); err != nil {
+			// Disk failure degrades to memory-only for this artifact.
+			s.stats.Corrupt++
+		} else {
+			e.onDisk = true
+			s.diskBytes += size
+			s.evictDiskLocked()
+		}
+	}
+	s.spillLocked()
+	return sha, nil
+}
+
+// writeFile persists one artifact atomically: temp file, fsync, rename.
+func (s *Store) writeFile(key, sha, tenant string, data []byte) error {
+	tmp, err := os.CreateTemp(s.cfg.Dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(header(sha, tenant)); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(key))
+}
+
+// spillLocked drops in-memory bytes (back of the LRU first) until the
+// memory layer fits its budget. With a disk layer the bytes remain
+// servable from disk; without one the entry is gone.
+func (s *Store) spillLocked() {
+	for el := s.lru.Back(); el != nil && s.memBytes > s.cfg.MemBytes; {
+		e := el.Value.(*entry)
+		el = el.Prev()
+		if e.data == nil {
+			continue
+		}
+		e.data = nil
+		s.memBytes -= e.size
+		s.stats.MemEvictions++
+		if !e.onDisk {
+			s.dropLocked(e)
+		}
+	}
+}
+
+// evictDiskLocked deletes least-recently-used files until the disk
+// layer fits its budget.
+func (s *Store) evictDiskLocked() {
+	if s.cfg.DiskBytes <= 0 {
+		return
+	}
+	for el := s.lru.Back(); el != nil && s.diskBytes > s.cfg.DiskBytes; {
+		e := el.Value.(*entry)
+		el = el.Prev()
+		if !e.onDisk {
+			continue
+		}
+		os.Remove(s.path(e.key))
+		e.onDisk = false
+		s.diskBytes -= e.size
+		s.stats.DiskEvictions++
+		if e.data == nil {
+			s.dropLocked(e)
+		}
+	}
+}
+
+// dropLocked removes an entry entirely and refunds its tenant.
+func (s *Store) dropLocked(e *entry) {
+	if _, found := s.entries[e.key]; !found {
+		return
+	}
+	delete(s.entries, e.key)
+	s.lru.Remove(e.elem)
+	if e.data != nil {
+		s.memBytes -= e.size
+	}
+	if e.onDisk {
+		e.onDisk = false
+		s.diskBytes -= e.size
+	}
+	s.tenants[e.tenant] -= e.size
+	if s.tenants[e.tenant] <= 0 {
+		delete(s.tenants, e.tenant)
+	}
+}
+
+// TenantUsage returns the live bytes attributed to tenant.
+func (s *Store) TenantUsage(tenant string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenants[tenant]
+}
+
+// Stats returns the store's counters and occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.MemBytes = s.memBytes
+	st.DiskBytes = s.diskBytes
+	return st
+}
+
+// Keys returns every stored key, most recently used first.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.entries))
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*entry).key)
+	}
+	return keys
+}
+
+func hash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

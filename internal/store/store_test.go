@@ -1,0 +1,220 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("artifact body\n")
+	sha, err := s.Put("alice", "ab12cd", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sha) != 64 {
+		t.Fatalf("sha = %q, want 64 hex chars", sha)
+	}
+	got, gsha, ok := s.Get("ab12cd")
+	if !ok || string(got) != string(data) || gsha != sha {
+		t.Fatalf("Get = %q/%q/%v, want the stored artifact", got, gsha, ok)
+	}
+	if _, _, ok := s.Get("ffffff"); ok {
+		t.Fatal("absent key reported as hit")
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.MemHits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutImmutability(t *testing.T) {
+	s, _ := New(Config{})
+	if _, err := s.Put("a", "aa", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	// Identical bytes: accepted as a duplicate, not rewritten.
+	if _, err := s.Put("b", "aa", []byte("one")); err != nil {
+		t.Fatalf("identical re-put rejected: %v", err)
+	}
+	if _, err := s.Put("a", "aa", []byte("two")); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("conflicting re-put: err = %v, want ErrMismatch", err)
+	}
+	if st := s.Stats(); st.DupPuts != 1 {
+		t.Fatalf("DupPuts = %d, want 1", st.DupPuts)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	s, _ := New(Config{})
+	for _, bad := range []string{"", "../etc", "ABCDEF", "xyz", "a b"} {
+		if _, err := s.Put("t", bad, []byte("x")); err == nil {
+			t.Errorf("Put accepted invalid key %q", bad)
+		}
+	}
+}
+
+// TestMemSpillToDisk fills the memory layer past its budget and checks
+// cold artifacts are still served — from disk, verified, and promoted.
+func TestMemSpillToDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir, MemBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := func(i int) []byte { return []byte(fmt.Sprintf("artifact %02d padded to 32 b\n", i)) }
+	for i := 0; i < 4; i++ {
+		if _, err := s.Put("t", fmt.Sprintf("%02d", i), blob(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.MemEvictions == 0 {
+		t.Fatalf("no memory evictions at 4x budget: %+v", st)
+	}
+	if st.MemBytes > 64 {
+		t.Fatalf("memory layer over budget: %+v", st)
+	}
+	// Every artifact remains servable; the oldest comes from disk.
+	for i := 0; i < 4; i++ {
+		got, _, ok := s.Get(fmt.Sprintf("%02d", i))
+		if !ok || string(got) != string(blob(i)) {
+			t.Fatalf("artifact %d lost after spill", i)
+		}
+	}
+	if st := s.Stats(); st.DiskHits == 0 {
+		t.Fatalf("no disk hits: %+v", st)
+	}
+}
+
+// TestMemOnlyEviction: without a disk layer, spilled artifacts are gone
+// and their tenants refunded.
+func TestMemOnlyEviction(t *testing.T) {
+	s, _ := New(Config{MemBytes: 40})
+	for i := 0; i < 3; i++ {
+		if _, err := s.Put("t", fmt.Sprintf("%02d", i), make([]byte, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := s.Get("00"); ok {
+		t.Fatal("evicted artifact still served")
+	}
+	if u := s.TenantUsage("t"); u != 40 {
+		t.Fatalf("tenant usage = %d, want 40 (evicted bytes refunded)", u)
+	}
+}
+
+func TestCorruptFileIsMissAndDeleted(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := New(Config{Dir: dir, MemBytes: 8})
+	// Small budget forces the artifact to disk-only immediately.
+	if _, err := s.Put("t", "ab", []byte("sixteen byte body")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "ab.art")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get("ab"); ok {
+		t.Fatal("corrupt artifact served")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt file not deleted")
+	}
+	if st := s.Stats(); st.Corrupt != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTenantQuota(t *testing.T) {
+	s, _ := New(Config{TenantQuotaBytes: 100})
+	if _, err := s.Put("alice", "aa", make([]byte, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("alice", "bb", make([]byte, 30)); !errors.Is(err, ErrQuota) {
+		t.Fatalf("over-quota put: err = %v, want ErrQuota", err)
+	}
+	// Another tenant has its own budget.
+	if _, err := s.Put("bob", "cc", make([]byte, 80)); err != nil {
+		t.Fatal(err)
+	}
+	// A duplicate put of alice's artifact by bob does not charge bob.
+	if _, err := s.Put("bob", "aa", make([]byte, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if u := s.TenantUsage("bob"); u != 80 {
+		t.Fatalf("bob charged for a duplicate: %d", u)
+	}
+}
+
+// TestDiskBudgetEvicts bounds the disk layer and checks LRU files are
+// deleted while recently used ones survive.
+func TestDiskBudgetEvicts(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := New(Config{Dir: dir, MemBytes: 1, DiskBytes: 64})
+	for i := 0; i < 4; i++ {
+		if _, err := s.Put("t", fmt.Sprintf("%02d", i), make([]byte, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.DiskEvictions == 0 || st.DiskBytes > 64 {
+		t.Fatalf("disk budget not enforced: %+v", st)
+	}
+	if _, _, ok := s.Get("00"); ok {
+		t.Fatal("disk-evicted artifact still indexed")
+	}
+	if _, _, ok := s.Get("03"); !ok {
+		t.Fatal("most recent artifact evicted")
+	}
+}
+
+// TestReindexAcrossRestart: a second store over the same directory
+// serves the first store's artifacts and keeps tenant attribution.
+func TestReindexAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := New(Config{Dir: dir})
+	data := []byte("persisted artifact\n")
+	sha, err := s1.Put("alice", "abcd", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gsha, ok := s2.Get("abcd")
+	if !ok || string(got) != string(data) || gsha != sha {
+		t.Fatalf("restart lost the artifact: %q/%q/%v", got, gsha, ok)
+	}
+	if u := s2.TenantUsage("alice"); u != int64(len(data)) {
+		t.Fatalf("tenant attribution lost: %d", u)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("restart Get not a disk hit: %+v", st)
+	}
+}
+
+func TestKeysOrder(t *testing.T) {
+	s, _ := New(Config{})
+	for _, k := range []string{"aa", "bb", "cc"} {
+		s.Put("t", k, []byte(k))
+	}
+	s.Get("aa") // touch: aa becomes most recent
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "aa" {
+		t.Fatalf("Keys() = %v, want aa first", keys)
+	}
+}

@@ -1,0 +1,622 @@
+// Package transport is the HTTP layer of the sweep fabric: it serves
+// the versioned v1 job API (see the api package) over a sweep engine
+// and a content-addressed result store. cmd/hbatd mounts it next to
+// the obs endpoints; the e2e tests drive it in-process.
+//
+// Request flow: POST /v1/jobs normalizes every submitted SimOptions
+// through engine.SpecFromWire (the same normalization the facade
+// applies, so wire specs and local specs share one key space), admits
+// the job against the per-tenant quota, and shards its specs across
+// the worker pool by spec key. Workers consult the store first (a
+// restart serves previous results without simulating), then the
+// engine (whose memo deduplicates concurrent and repeated specs
+// across tenants), render the canonical artifact, and file it back
+// into the store under the submitting tenant.
+package transport
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"hbat/api"
+	"hbat/internal/engine"
+	"hbat/internal/runspan"
+	"hbat/internal/store"
+	"hbat/internal/tlb"
+	"hbat/internal/workload"
+)
+
+// Config wires a Service. Engine and Store are required.
+type Config struct {
+	// Engine executes specs. One shared engine is what gives
+	// cross-tenant memo hits; the service never creates its own.
+	Engine *engine.Engine
+	// Store holds rendered artifacts, content-addressed by spec key.
+	Store *store.Store
+	// Workers sizes the worker pool (default 4). Specs shard across
+	// workers by spec key, so an identical spec submitted twice lands
+	// on the same worker and the second ride is a pure cache read.
+	Workers int
+	// TenantJobs, when > 0, bounds concurrently open jobs per tenant;
+	// submissions beyond it are rejected with 429.
+	TenantJobs int
+	// MaxSpecs, when > 0, bounds specs per job (413 beyond). Default
+	// 1024.
+	MaxSpecs int
+	// Logger, when non-nil, receives one record per job transition.
+	Logger *slog.Logger
+	// Spans, when non-nil, feeds the SSE event stream with live
+	// run-root spans and per-spec phase breakdowns.
+	Spans *runspan.Tracer
+}
+
+// specTask is one spec of one job, queued to a worker.
+type specTask struct {
+	job *job
+	idx int
+}
+
+// job is one submitted job's live state. mu guards specs/done/state
+// and the subscriber list.
+type job struct {
+	id     string
+	tenant string
+
+	mu    sync.Mutex
+	specs []api.SpecStatus
+	runs  []engine.RunSpec
+	done  int
+	state string
+	// subs receive one api.Event per completed spec and a final
+	// "done"; sends never block (lossy, like the span feed), except
+	// the final done which each subscriber's buffer always has room
+	// for because the channel is closed right after.
+	subs map[uint64]chan api.Event
+	// finished closes when every spec is done, releasing Shutdown.
+	finished chan struct{}
+}
+
+// Service is a running sweep fabric. Create with New, mount Handler,
+// stop with Shutdown.
+type Service struct {
+	cfg Config
+
+	queues []chan specTask
+	wg     sync.WaitGroup
+	// enq tracks in-flight enqueue goroutines; Shutdown waits for it
+	// before closing the queues so an admitted job never sends on a
+	// closed channel. Add happens under mu, before draining can flip.
+	enq sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	byTenant map[string]int
+	draining bool
+	subSeq   uint64
+}
+
+// New starts the worker pool and returns the service.
+func New(cfg Config) (*Service, error) {
+	if cfg.Engine == nil || cfg.Store == nil {
+		return nil, errors.New("transport: Config.Engine and Config.Store are required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.MaxSpecs <= 0 {
+		cfg.MaxSpecs = 1024
+	}
+	s := &Service{
+		cfg:      cfg,
+		jobs:     make(map[string]*job),
+		byTenant: make(map[string]int),
+		queues:   make([]chan specTask, cfg.Workers),
+	}
+	for i := range s.queues {
+		s.queues[i] = make(chan specTask, 64)
+		s.wg.Add(1)
+		go s.worker(s.queues[i])
+	}
+	return s, nil
+}
+
+// Shutdown drains the service: no new jobs are admitted (the engine's
+// Accepting state flips, so /ready reports 503), in-flight jobs run to
+// completion or ctx expiry, and the worker pool exits.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	open := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		open = append(open, j)
+	}
+	s.mu.Unlock()
+	s.cfg.Engine.SetAccepting(false)
+	s.enq.Wait()
+	for _, q := range s.queues {
+		close(q)
+	}
+	for _, j := range open {
+		select {
+		case <-j.finished:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Handler returns the /v1 routing table. Mount it at "/" (it matches
+// only /v1/... paths) or compose it with the obs handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(api.PathPing, s.handlePing)
+	mux.HandleFunc(api.PathJobs, s.handleJobs)
+	mux.HandleFunc(api.PathJobs+"/", s.handleJob)
+	mux.HandleFunc(api.PathResults, s.handleResult)
+	mux.HandleFunc(api.PathManifest, s.handleManifest)
+	return mux
+}
+
+func (s *Service) log() *slog.Logger {
+	if s.cfg.Logger != nil {
+		return s.cfg.Logger
+	}
+	return slog.New(slog.DiscardHandler)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, &api.Error{API: api.Version, Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+func (s *Service) handlePing(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"api": api.Version, "pong": "hbatd"})
+}
+
+// tenant resolves the caller's tenant: body field, then header, then
+// "default".
+func tenant(r *http.Request, body *api.JobRequest) string {
+	if body != nil && body.Tenant != "" {
+		return body.Tenant
+	}
+	if t := r.Header.Get(api.TenantHeader); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// expand flattens a JobRequest into wire specs: the grid's product
+// first, explicit specs after.
+func expand(req *api.JobRequest) []api.SimOptions {
+	var specs []api.SimOptions
+	if g := req.Grid; g != nil {
+		ws, ds := g.Workloads, g.Designs
+		if len(ws) == 0 {
+			ws = workload.Names()
+		}
+		if len(ds) == 0 {
+			ds = tlb.DesignOrder
+		}
+		for _, w := range ws {
+			for _, d := range ds {
+				o := g.Template
+				o.Workload, o.Design = w, d
+				specs = append(specs, o)
+			}
+		}
+	}
+	return append(specs, req.Specs...)
+}
+
+func newJobID() string {
+	var b [8]byte
+	rand.Read(b[:])
+	return "j" + hex.EncodeToString(b[:])
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST %s", api.PathJobs)
+		return
+	}
+	var req api.JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad job request: %v", err)
+		return
+	}
+	ten := tenant(r, &req)
+	wire := expand(&req)
+	if len(wire) == 0 {
+		writeErr(w, http.StatusBadRequest, "job has no specs")
+		return
+	}
+	if len(wire) > s.cfg.MaxSpecs {
+		writeErr(w, http.StatusRequestEntityTooLarge, "%d specs exceeds the %d-spec job limit", len(wire), s.cfg.MaxSpecs)
+		return
+	}
+
+	j := &job{
+		id:       newJobID(),
+		tenant:   ten,
+		state:    api.StateQueued,
+		subs:     make(map[uint64]chan api.Event),
+		finished: make(chan struct{}),
+	}
+	for _, o := range wire {
+		spec, err := engine.SpecFromWire(o)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad spec: %v", err)
+			return
+		}
+		j.runs = append(j.runs, spec)
+		j.specs = append(j.specs, api.SpecStatus{
+			SpecKey: spec.Hash(),
+			Spec:    spec.String(),
+			State:   api.StateQueued,
+		})
+	}
+
+	// Admission: drain state and per-tenant open-job quota, checked and
+	// charged under one lock so concurrent submissions cannot overshoot.
+	s.mu.Lock()
+	if s.draining || !s.cfg.Engine.Accepting() {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+		return
+	}
+	if q := s.cfg.TenantJobs; q > 0 && s.byTenant[ten] >= q {
+		s.mu.Unlock()
+		writeErr(w, http.StatusTooManyRequests, "tenant %q has %d open jobs (limit %d)", ten, s.byTenant[ten], s.cfg.TenantJobs)
+		return
+	}
+	s.byTenant[ten]++
+	s.jobs[j.id] = j
+	s.enq.Add(1)
+	s.mu.Unlock()
+
+	s.log().Info("job accepted", "job", j.id, "tenant", ten, "specs", len(j.specs))
+
+	// Shard the job's specs across the pool by spec key: identical
+	// specs always land on the same worker queue, so a duplicate only
+	// ever waits on the engine's singleflight, never races it.
+	acc := api.JobAccepted{
+		API: api.Version, ID: j.id, Tenant: ten, Total: len(j.specs),
+		StatusURL: api.PathJobs + "/" + j.id,
+		EventsURL: api.PathJobs + "/" + j.id + "/events",
+	}
+	for i := range j.specs {
+		acc.SpecKeys = append(acc.SpecKeys, j.specs[i].SpecKey)
+	}
+	go func() {
+		defer s.enq.Done()
+		for i := range j.specs {
+			s.queues[shard(j.specs[i].SpecKey, len(s.queues))] <- specTask{job: j, idx: i}
+		}
+	}()
+	writeJSON(w, http.StatusAccepted, acc)
+}
+
+// shard maps a spec key to a worker queue.
+func shard(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32()) % n
+}
+
+// worker drains one queue until Shutdown closes it.
+func (s *Service) worker(queue <-chan specTask) {
+	defer s.wg.Done()
+	for t := range queue {
+		s.runSpec(t.job, t.idx)
+	}
+}
+
+// runSpec executes (or cache-serves) one spec and publishes its
+// completion.
+func (s *Service) runSpec(j *job, idx int) {
+	j.mu.Lock()
+	st := &j.specs[idx]
+	st.State = api.StateRunning
+	if j.state == api.StateQueued {
+		j.state = api.StateRunning
+	}
+	key := st.SpecKey
+	spec := j.runs[idx]
+	j.mu.Unlock()
+
+	var final api.SpecStatus
+	if _, sha, ok := s.cfg.Store.Get(key); ok {
+		final = api.SpecStatus{
+			State: api.StateDone, StoreHit: true,
+			ResultURL: api.PathResults + key, SHA256: sha,
+		}
+	} else {
+		final = s.simulate(j.tenant, key, spec)
+	}
+
+	j.mu.Lock()
+	st = &j.specs[idx]
+	st.State, st.Cached, st.StoreHit = final.State, final.Cached, final.StoreHit
+	st.WallMs, st.Error = final.WallMs, final.Error
+	st.ResultURL, st.SHA256 = final.ResultURL, final.SHA256
+	j.done++
+	done, total := j.done, len(j.specs)
+	if done == total {
+		j.state = api.StateDone
+		for i := range j.specs {
+			if j.specs[i].State == api.StateFailed {
+				j.state = api.StateFailed
+				break
+			}
+		}
+	}
+	ev := api.Event{Type: "spec", Job: j.id, Spec: cloneStatus(*st), Done: done, Total: total}
+	j.publishLocked(ev)
+	if done == total {
+		j.publishLocked(api.Event{Type: "done", Job: j.id, Done: done, Total: total})
+		for id, ch := range j.subs {
+			delete(j.subs, id)
+			close(ch)
+		}
+	}
+	j.mu.Unlock()
+
+	if done == total {
+		close(j.finished)
+		s.mu.Lock()
+		s.byTenant[j.tenant]--
+		if s.byTenant[j.tenant] <= 0 {
+			delete(s.byTenant, j.tenant)
+		}
+		s.mu.Unlock()
+		s.log().Info("job finished", "job", j.id, "tenant", j.tenant, "specs", total)
+	}
+}
+
+// simulate runs one spec through the engine, renders the canonical
+// artifact, and files it into the store.
+func (s *Service) simulate(tenant, key string, spec engine.RunSpec) api.SpecStatus {
+	res := s.cfg.Engine.Run(context.Background(), spec)
+	if res.Err != nil {
+		return api.SpecStatus{State: api.StateFailed, Error: res.Err.Error()}
+	}
+	data := engine.Artifact(engine.Wire(res))
+	st := api.SpecStatus{
+		State:  api.StateDone,
+		Cached: res.Cached,
+		WallMs: float64(res.Wall.Microseconds()) / 1e3,
+	}
+	sha, err := s.cfg.Store.Put(tenant, key, data)
+	if err != nil {
+		// Quota or disk trouble: the simulation still succeeded, the
+		// artifact is just not servable from the store. The status
+		// carries the reason; the result remains reproducible.
+		st.Error = err.Error()
+		st.SHA256 = engine.ArtifactSHA256(data)
+		return st
+	}
+	st.ResultURL = api.PathResults + key
+	st.SHA256 = sha
+	return st
+}
+
+func cloneStatus(st api.SpecStatus) *api.SpecStatus { return &st }
+
+// publishLocked fans an event out to the job's subscribers. Callers
+// hold j.mu. Sends never block: a subscriber that lags loses
+// intermediate spec events (the SSE handler synthesizes the terminal
+// done from job state if even that was dropped).
+func (j *job) publishLocked(ev api.Event) {
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe registers an event feed for a job. The returned cancel is
+// idempotent. A job that is already done gets an immediate "done"
+// event and a closed channel.
+func (j *job) subscribe(buf int) (<-chan api.Event, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan api.Event, buf)
+	if j.done == len(j.specs) {
+		ch <- api.Event{Type: "done", Job: j.id, Done: j.done, Total: len(j.specs)}
+		close(ch)
+		return ch, func() {}
+	}
+	id := uint64(len(j.subs)) + 1
+	for {
+		if _, taken := j.subs[id]; !taken {
+			break
+		}
+		id++
+	}
+	j.subs[id] = ch
+	return ch, func() {
+		j.mu.Lock()
+		if _, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(ch)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// handleJob serves GET /v1/jobs/{id} and GET /v1/jobs/{id}/events.
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, api.PathJobs+"/")
+	id, sub, _ := strings.Cut(rest, "/")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	switch sub {
+	case "":
+		writeJSON(w, http.StatusOK, j.status())
+	case "events":
+		s.serveEvents(w, r, j)
+	default:
+		writeErr(w, http.StatusNotFound, "no such job endpoint %q", sub)
+	}
+}
+
+func (j *job) status() api.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := api.JobStatus{
+		API: api.Version, ID: j.id, Tenant: j.tenant,
+		State: j.state, Done: j.done, Total: len(j.specs),
+		Specs: make([]api.SpecStatus, len(j.specs)),
+	}
+	copy(st.Specs, j.specs)
+	return st
+}
+
+// serveEvents streams the job's progress as SSE. Each event is one
+// api.Event JSON document. When the service has a span tracer, live
+// run-root spans are interleaved as "span" events — the runspan feed
+// is the transport of record for phase-level progress.
+func (s *Service) serveEvents(w http.ResponseWriter, r *http.Request, j *job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	events, cancel := j.subscribe(64)
+	defer cancel()
+	spans, cancelSpans := s.cfg.Spans.Subscribe(64)
+	defer cancelSpans()
+
+	emit := func(ev api.Event) bool {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, b); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case d, ok := <-spans:
+			if !ok {
+				spans = nil // tracer detached; keep serving job events
+				continue
+			}
+			if d.Parent != 0 || d.Name != "run" {
+				continue // roots only: one span event per simulation
+			}
+			ev := api.Event{Type: "span", Job: j.id, Span: &api.Span{
+				Name: d.Name, DurUS: d.DurUS, Attrs: d.Attrs,
+			}}
+			if !emit(ev) {
+				return
+			}
+		case ev, ok := <-events:
+			if !ok {
+				// The feed closed before this subscriber drained the
+				// terminal event (lossy buffer): synthesize the done.
+				st := j.status()
+				emit(api.Event{Type: "done", Job: j.id, Done: st.Done, Total: st.Total})
+				return
+			}
+			if !emit(ev) {
+				return
+			}
+			if ev.Type == "done" {
+				return
+			}
+		}
+	}
+}
+
+// handleResult serves GET /v1/results/{speckey}: the canonical
+// artifact with its content hash as a strong ETag.
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, api.PathResults)
+	if !store.Key(key) {
+		writeErr(w, http.StatusBadRequest, "malformed spec key %q", key)
+		return
+	}
+	data, sha, ok := s.cfg.Store.Get(key)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no stored result for spec %s", key)
+		return
+	}
+	etag := `"` + sha + `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Content-Type", "application/json")
+	if match := r.Header.Get("If-None-Match"); match != "" && strings.Contains(match, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Write(data)
+}
+
+// handleManifest serves the engine's provenance manifest: every run
+// this process performed plus the store's current keys — enough for a
+// client to audit what was simulated versus served from cache.
+func (s *Service) handleManifest(w http.ResponseWriter, r *http.Request) {
+	man := engine.NewManifest("hbatd", time.Now())
+	man.RecordRuns(s.cfg.Engine)
+	for _, key := range s.cfg.Store.Keys() {
+		if data, _, ok := s.cfg.Store.Get(key); ok {
+			man.AddArtifactBytes(key+".json", api.PathResults+key, data)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := man.WriteJSON(w); err != nil {
+		s.log().Warn("manifest write failed", "error", err.Error())
+	}
+}

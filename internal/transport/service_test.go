@@ -1,0 +1,430 @@
+package transport_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hbat"
+	"hbat/api"
+	"hbat/internal/engine"
+	"hbat/internal/store"
+	"hbat/internal/transport"
+)
+
+// newService spins up an in-process fabric over a fresh engine and
+// store, mounted on an httptest server. Callers own the Shutdown.
+func newService(t *testing.T, cfg transport.Config) (*transport.Service, *httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng := engine.New()
+	if cfg.Engine == nil {
+		cfg.Engine = eng
+	} else {
+		eng = cfg.Engine
+	}
+	if cfg.Store == nil {
+		st, err := store.New(store.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = st
+	}
+	svc, err := transport.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	return svc, ts, eng
+}
+
+func testSpec(workload, design string) api.SimOptions {
+	return api.SimOptions{
+		CommonOptions: api.CommonOptions{Scale: "test"},
+		Workload:      workload,
+		Design:        design,
+	}
+}
+
+func TestPingAndErrors(t *testing.T) {
+	svc, ts, _ := newService(t, transport.Config{Workers: 2})
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	ctx := context.Background()
+	c := api.NewClient(ts.URL)
+	if err := c.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown job: structured 404.
+	if _, err := c.Job(ctx, "jdeadbeef"); err == nil {
+		t.Fatal("unknown job did not error")
+	} else {
+		var apiErr *api.Error
+		if !errors.As(err, &apiErr) || apiErr.Code != http.StatusNotFound {
+			t.Fatalf("unknown job error = %v, want api.Error 404", err)
+		}
+	}
+	// Bad spec: 400.
+	if _, err := c.Submit(ctx, api.JobRequest{Specs: []api.SimOptions{testSpec("nope", "T4")}}); err == nil {
+		t.Fatal("bad workload accepted")
+	}
+	// Empty job: 400.
+	if _, err := c.Submit(ctx, api.JobRequest{}); err == nil {
+		t.Fatal("empty job accepted")
+	}
+	// Absent result: 404; malformed key: 400.
+	if _, _, err := c.Result(ctx, "abcdef123456"); err == nil {
+		t.Fatal("absent result served")
+	}
+	resp, err := http.Get(ts.URL + api.PathResults + "../escape")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("traversal key -> %d", resp.StatusCode)
+	}
+}
+
+// TestServiceEndToEnd is the PR's acceptance test: four concurrent
+// tenants submit overlapping grids; every spec simulates at most once
+// across all of them (engine singleflight + store); a tenant that
+// re-requests a spec another tenant simulated gets a store hit; the
+// served artifact is byte-identical to what the in-process facade
+// renders; and the service drains cleanly without leaking goroutines.
+func TestServiceEndToEnd(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	svc, ts, eng := newService(t, transport.Config{Workers: 4})
+	ctx := context.Background()
+
+	// Four tenants, overlapping small grids: every tenant asks for the
+	// shared (compress, T4) spec plus one private design.
+	private := []string{"T1", "M8", "I4", "P8"}
+	var wg sync.WaitGroup
+	finals := make([]api.JobStatus, 4)
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := api.NewClient(ts.URL)
+			c.Tenant = fmt.Sprintf("tenant-%d", i)
+			acc, err := c.Submit(ctx, api.JobRequest{Specs: []api.SimOptions{
+				testSpec("compress", "T4"),
+				testSpec("compress", private[i]),
+			}})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if acc.Total != 2 || len(acc.SpecKeys) != 2 {
+				errs[i] = fmt.Errorf("accepted %d specs", acc.Total)
+				return
+			}
+			finals[i], errs[i] = c.Wait(ctx, acc.ID)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("tenant %d: %v", i, err)
+		}
+	}
+	for i, st := range finals {
+		if st.State != api.StateDone {
+			t.Fatalf("tenant %d job state %q: %+v", i, st.State, st)
+		}
+		for _, sp := range st.Specs {
+			if sp.State != api.StateDone || sp.Error != "" {
+				t.Fatalf("tenant %d spec %s: %+v", i, sp.Spec, sp)
+			}
+			if sp.SHA256 == "" || sp.ResultURL == "" {
+				t.Fatalf("tenant %d spec %s missing result pointers: %+v", i, sp.Spec, sp)
+			}
+		}
+	}
+
+	// 5 unique specs across 8 requests: the engine must have executed
+	// each exactly once, the rest served by memo/store.
+	if exec := eng.State().Executed; exec != 5 {
+		t.Errorf("engine executed %d specs, want 5 (4 tenants x shared spec deduped)", exec)
+	}
+
+	// A fifth tenant re-requests the shared spec: pure store hit, no
+	// engine involvement.
+	c := api.NewClient(ts.URL)
+	c.Tenant = "late-tenant"
+	acc, err := c.Submit(ctx, api.JobRequest{Specs: []api.SimOptions{testSpec("compress", "T4")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, acc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Specs[0].StoreHit {
+		t.Fatalf("late tenant not served from store: %+v", st.Specs[0])
+	}
+	if exec := eng.State().Executed; exec != 5 {
+		t.Errorf("store hit still touched the engine: executed = %d", exec)
+	}
+
+	// Byte identity: the served artifact equals the facade's rendering
+	// of the same options, and the ETag is its SHA-256.
+	data, etag, err := c.Result(ctx, acc.SpecKeys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hbat.Simulate(ctx, hbat.Options{
+		CommonOptions: hbat.CommonOptions{Scale: "test"},
+		Workload:      "compress",
+		Design:        "T4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(res.Artifact()) {
+		t.Errorf("served artifact differs from facade artifact:\n%s\nvs\n%s", data, res.Artifact())
+	}
+	if etag != engine.ArtifactSHA256(data) {
+		t.Errorf("ETag %q is not the artifact's SHA-256", etag)
+	}
+
+	// Conditional fetch: If-None-Match with the ETag is a 304.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+api.PathResults+acc.SpecKeys[0], nil)
+	req.Header.Set("If-None-Match", `"`+etag+`"`)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("conditional fetch -> %d, want 304", resp.StatusCode)
+	}
+
+	// Clean drain: Shutdown completes promptly, then rejects new jobs.
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := c.Submit(ctx, api.JobRequest{Specs: []api.SimOptions{testSpec("compress", "T4")}}); err == nil {
+		t.Fatal("drained service accepted a job")
+	} else {
+		var apiErr *api.Error
+		if !errors.As(err, &apiErr) || apiErr.Code != http.StatusServiceUnavailable {
+			t.Fatalf("post-drain submit error = %v, want 503", err)
+		}
+	}
+	ts.Close()
+
+	// Goroutine-leak check: the worker pool, SSE streams, and enqueue
+	// goroutines must all be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked: %d before, %d after drain", before, n)
+	}
+}
+
+// TestTenantJobQuota rejects a tenant's second concurrent job with 429
+// while the first is still open, and admits it again after.
+func TestTenantJobQuota(t *testing.T) {
+	svc, ts, _ := newService(t, transport.Config{Workers: 1, TenantJobs: 1})
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	ctx := context.Background()
+	c := api.NewClient(ts.URL)
+	c.Tenant = "greedy"
+
+	// A 13-design grid on one worker keeps the job open long enough to
+	// observe the quota deterministically from this goroutine.
+	acc, err := c.Submit(ctx, api.JobRequest{Grid: &api.Grid{
+		Workloads: []string{"compress"},
+		Template:  api.SimOptions{CommonOptions: api.CommonOptions{Scale: "test"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Total != 13 {
+		t.Fatalf("grid expanded to %d specs, want 13", acc.Total)
+	}
+	_, err = c.Submit(ctx, api.JobRequest{Specs: []api.SimOptions{testSpec("compress", "T4")}})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusTooManyRequests {
+		t.Fatalf("second job error = %v, want api.Error 429", err)
+	}
+	// Another tenant is not affected.
+	c2 := api.NewClient(ts.URL)
+	c2.Tenant = "modest"
+	if _, err := c2.Submit(ctx, api.JobRequest{Specs: []api.SimOptions{testSpec("compress", "T4")}}); err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+	// Once the first job completes, the quota is released.
+	if _, err := c.Wait(ctx, acc.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, api.JobRequest{Specs: []api.SimOptions{testSpec("compress", "T4")}}); err != nil {
+		t.Fatalf("post-completion submit rejected: %v", err)
+	}
+}
+
+// TestEventsStream reads the SSE feed of a job and expects one "spec"
+// event per spec and a terminal "done".
+func TestEventsStream(t *testing.T) {
+	svc, ts, _ := newService(t, transport.Config{Workers: 2})
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	ctx := context.Background()
+	c := api.NewClient(ts.URL)
+
+	acc, err := c.Submit(ctx, api.JobRequest{Specs: []api.SimOptions{
+		testSpec("compress", "T4"),
+		testSpec("espresso", "T4"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + acc.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var specs, dones int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev api.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		switch ev.Type {
+		case "spec":
+			specs++
+			if ev.Spec == nil || ev.Spec.State != api.StateDone {
+				t.Errorf("spec event without done status: %+v", ev)
+			}
+		case "done":
+			dones++
+			if ev.Done != 2 || ev.Total != 2 {
+				t.Errorf("done event counts %d/%d, want 2/2", ev.Done, ev.Total)
+			}
+		}
+		if ev.Type == "done" {
+			break
+		}
+	}
+	// The job may finish specs before the stream attaches, so allow
+	// fewer spec events — but the terminal done must always arrive.
+	if dones != 1 {
+		t.Fatalf("saw %d done events (and %d spec events), want exactly 1", dones, specs)
+	}
+}
+
+// TestManifestListsRuns checks /v1/manifest reports the engine's runs
+// and the stored artifacts.
+func TestManifestListsRuns(t *testing.T) {
+	svc, ts, _ := newService(t, transport.Config{Workers: 1})
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	ctx := context.Background()
+	c := api.NewClient(ts.URL)
+	acc, err := c.Submit(ctx, api.JobRequest{Specs: []api.SimOptions{testSpec("compress", "T4")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, acc.ID); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + api.PathManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var man struct {
+		Runs      []json.RawMessage `json:"runs"`
+		Artifacts []struct {
+			Name   string `json:"name"`
+			SHA256 string `json:"sha256"`
+		} `json:"artifacts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&man); err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Runs) != 1 {
+		t.Errorf("manifest lists %d runs, want 1", len(man.Runs))
+	}
+	if len(man.Artifacts) != 1 || !strings.HasPrefix(man.Artifacts[0].Name, acc.SpecKeys[0]) {
+		t.Errorf("manifest artifacts = %+v", man.Artifacts)
+	}
+}
+
+// TestDialFabric covers the facade's Dial handle: remote mode against
+// the in-process service, and local fallback when nothing listens.
+func TestDialFabric(t *testing.T) {
+	svc, ts, _ := newService(t, transport.Config{Workers: 2})
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	ctx := context.Background()
+
+	f, err := hbat.Dial(ctx, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Remote() {
+		t.Fatalf("Dial(%s) fell back to local: %v", ts.URL, f.FallbackErr())
+	}
+	f.SetTenant("dialer")
+	opts := hbat.Options{
+		CommonOptions: hbat.CommonOptions{Scale: "test"},
+		Workload:      "espresso",
+		Design:        "M8",
+	}
+	remote, err := f.Simulate(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := hbat.Simulate(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(remote.Artifact()) != string(local.Artifact()) {
+		t.Error("remote and local artifacts differ")
+	}
+	if remote.IPC != local.IPC || remote.Cycles != local.Cycles {
+		t.Errorf("remote result diverges: IPC %v vs %v", remote.IPC, local.IPC)
+	}
+
+	// Local fallback: a dead address yields a working local handle.
+	lf, err := hbat.Dial(ctx, "http://127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf.Remote() || lf.FallbackErr() == nil {
+		t.Fatalf("dead address did not fall back: remote=%v err=%v", lf.Remote(), lf.FallbackErr())
+	}
+	fres, err := lf.Simulate(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fres.Artifact()) != string(local.Artifact()) {
+		t.Error("fallback artifact differs from local artifact")
+	}
+}

@@ -22,8 +22,7 @@ import (
 // simulate span.
 func TestMergedSpanTimeline(t *testing.T) {
 	tr := NewSpanTracer()
-	eng := harness.NewEngine()
-	eng.Spans = tr
+	eng := harness.NewEngine(harness.WithSpans(tr))
 
 	specs := []harness.RunSpec{
 		{
@@ -144,7 +143,7 @@ func TestFacadeSpanTracerAccessors(t *testing.T) {
 	if Spans() != tr {
 		t.Fatal("Spans() did not return the attached tracer")
 	}
-	if err := RunExperiment("table2", ExperimentOptions{Scale: "test"}, &bytes.Buffer{}); err != nil {
+	if err := RunExperiment(context.Background(), "table2", ExperimentOptions{CommonOptions: CommonOptions{Scale: "test"}}, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	by := map[string]int{}

@@ -2,6 +2,7 @@ package hbat
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -24,11 +25,11 @@ type perfettoEvent struct {
 // trace-event JSON with named tracks, duration slices, and at least one
 // TLB-miss instant — i.e. a file ui.perfetto.dev will actually open.
 func TestPerfettoTraceValidates(t *testing.T) {
-	res, err := Simulate(Options{
-		Workload: "compress",
-		Design:   "I4",
-		Scale:    "test",
-		Trace:    &TraceOptions{Buffer: 1 << 19},
+	res, err := Simulate(context.Background(), Options{
+		Workload:      "compress",
+		Design:        "I4",
+		CommonOptions: CommonOptions{Scale: "test"},
+		Trace:         &TraceOptions{Buffer: 1 << 19},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -94,11 +95,11 @@ func TestPerfettoTraceValidates(t *testing.T) {
 
 // TestTraceSummaryRenders checks the facade end of the text report.
 func TestTraceSummaryRenders(t *testing.T) {
-	res, err := Simulate(Options{
-		Workload: "compress",
-		Design:   "I4",
-		Scale:    "test",
-		Trace:    &TraceOptions{},
+	res, err := Simulate(context.Background(), Options{
+		Workload:      "compress",
+		Design:        "I4",
+		CommonOptions: CommonOptions{Scale: "test"},
+		Trace:         &TraceOptions{},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -118,10 +119,10 @@ func TestTraceSummaryRenders(t *testing.T) {
 // TestIntervalCSVThroughFacade checks Options.IntervalEvery produces a
 // CSV time series with the documented columns.
 func TestIntervalCSVThroughFacade(t *testing.T) {
-	res, err := Simulate(Options{
+	res, err := Simulate(context.Background(), Options{
 		Workload:      "compress",
 		Design:        "T4",
-		Scale:         "test",
+		CommonOptions: CommonOptions{Scale: "test"},
 		IntervalEvery: 500,
 	})
 	if err != nil {
