@@ -29,6 +29,16 @@ const (
 // with neither, the server files the job under the "default" tenant.
 const TenantHeader = "X-Hbat-Tenant"
 
+// TraceparentHeader names the W3C trace-context header a job
+// submission may carry ("00-<32 hex trace id>-<16 hex span id>-01").
+// A "traceparent" field in the JobRequest body takes precedence; with
+// neither, the server mints a fresh trace id so every job's spans are
+// retrievable. The accepted job's trace id is echoed in
+// JobAccepted.TraceID and JobStatus.TraceID, and the job's server-side
+// spans are served by GET /v1/jobs/{id}/spans as a span-journal
+// (JSON-lines) document.
+const TraceparentHeader = "traceparent"
+
 // CommonOptions is the option set shared by every simulation entry
 // point — one run, a grid, or a remote job: the workload scale, the
 // seed for randomized structures, and the two-phase fast-forward
@@ -98,6 +108,12 @@ type JobRequest struct {
 	Tenant string       `json:"tenant,omitempty"`
 	Specs  []SimOptions `json:"specs,omitempty"`
 	Grid   *Grid        `json:"grid,omitempty"`
+	// Traceparent, when set, carries the submitting client's W3C trace
+	// context ("00-<trace>-<span>-01"): the server parents the job's
+	// span tree under the client span and stamps the shared trace id
+	// into its own spans, logs, and manifest records. Overrides the
+	// traceparent header.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // JobAccepted is the 202 response to a submitted job.
@@ -111,6 +127,12 @@ type JobAccepted struct {
 	SpecKeys  []string `json:"spec_keys"`
 	StatusURL string   `json:"status_url"`
 	EventsURL string   `json:"events_url"`
+	// TraceID is the job's 32-hex cross-process trace id: the one the
+	// client sent via traceparent, or a server-minted one. SpansURL
+	// serves the job's server-side span journal (JSON lines) once spans
+	// exist; empty when the server runs without span tracing.
+	TraceID  string `json:"trace_id,omitempty"`
+	SpansURL string `json:"spans_url,omitempty"`
 }
 
 // Spec states reported by SpecStatus.State, and job states reported by
@@ -153,6 +175,10 @@ type JobStatus struct {
 	Done   int          `json:"done"`
 	Total  int          `json:"total"`
 	Specs  []SpecStatus `json:"specs"`
+	// TraceID is the job's cross-process trace id (see
+	// JobAccepted.TraceID) — a curl user correlates a job to its span
+	// journal and log records with this field alone.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Event is one SSE message on GET /v1/jobs/{id}/events. Type "spec"

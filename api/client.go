@@ -49,6 +49,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+		if jr, ok := body.(JobRequest); ok && jr.Traceparent != "" {
+			req.Header.Set(TraceparentHeader, jr.Traceparent)
+		}
 	}
 	if c.Tenant != "" {
 		req.Header.Set(TenantHeader, c.Tenant)
@@ -93,11 +96,45 @@ func (c *Client) Ping(ctx context.Context) error {
 	return nil
 }
 
-// Submit posts a job and returns its acceptance record.
+// Submit posts a job and returns its acceptance record. A
+// req.Traceparent is additionally sent as the traceparent header, so
+// intermediaries that only read headers see the same trace context the
+// body carries.
 func (c *Client) Submit(ctx context.Context, req JobRequest) (JobAccepted, error) {
 	var acc JobAccepted
 	err := c.do(ctx, http.MethodPost, PathJobs, req, &acc)
 	return acc, err
+}
+
+// Spans fetches a job's server-side span journal: the raw JSON-lines
+// document GET /v1/jobs/{id}/spans serves (versioned header line, then
+// one finished span per line — the same format a local -spans journal
+// file uses).
+func (c *Client) Spans(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+PathJobs+"/"+id+"/spans", nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr Error
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Message != "" {
+			return nil, &apiErr
+		}
+		return nil, &Error{API: Version, Code: resp.StatusCode, Message: resp.Status}
+	}
+	return data, nil
 }
 
 // Job fetches the current status of a job.

@@ -1,15 +1,20 @@
 // Command hbat-trace captures a workload's data-reference trace to a
-// compact binary file, prints a trace's summary, or replays a trace
-// through the fully-associative TLB models of Figure 6.
+// compact binary file, prints a trace's summary, replays a trace
+// through the fully-associative TLB models of Figure 6, or fetches a
+// remote job's span journal from an hbatd service and renders a
+// merged cross-process Perfetto timeline.
 //
 // Usage:
 //
 //	hbat-trace capture -workload compress -o compress.hbt [-scale small] [-max N]
 //	hbat-trace info    -i compress.hbt
 //	hbat-trace replay  -i compress.hbt [-sizes 4,8,16,32,64,128]
+//	hbat-trace remote  -addr http://127.0.0.1:9090 -job j0123456789abcdef \
+//	                   [-client client-spans.jsonl] [-o merged.perfetto.json]
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -19,8 +24,10 @@ import (
 	"strconv"
 	"strings"
 
+	"hbat/api"
 	"hbat/internal/obs"
 	"hbat/internal/prog"
+	"hbat/internal/runspan"
 	"hbat/internal/tlb"
 	"hbat/internal/trace"
 	"hbat/internal/workload"
@@ -90,8 +97,75 @@ func main() {
 		info(ctx, os.Args[2:])
 	case "replay":
 		replay(ctx, os.Args[2:])
+	case "remote":
+		remote(ctx, os.Args[2:])
 	default:
 		fatalf("unknown subcommand %q", os.Args[1])
+	}
+}
+
+// remote fetches a job's server-side span journal from a live hbatd
+// (GET /v1/jobs/{id}/spans), optionally reads the submitting client's
+// local journal next to it, and renders everything as one merged
+// Perfetto timeline: the client's fabric_simulate span with the
+// server's job > queue_wait and run > checkpoint > simulate trees
+// nested at true wall-clock offsets, linked by the shared trace id.
+func remote(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("remote", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:9090", "hbatd base URL")
+	jobID := fs.String("job", "", "job id whose spans to fetch (required)")
+	clientJournal := fs.String("client", "", "local client span journal (.jsonl) to merge alongside the server's")
+	out := fs.String("o", "merged.perfetto.json", "output Perfetto trace-event JSON")
+	tenantF := fs.String("tenant", "", "tenant sent with the fetch")
+	obsFlags := obs.AddFlags(fs)
+	fs.Parse(args)
+	logger := setupObs(ctx, obsFlags)
+	if *jobID == "" {
+		fatalf("remote: -job is required")
+	}
+	c := api.NewClient(*addr)
+	c.Tenant = *tenantF
+	raw, err := c.Spans(ctx, *jobID)
+	if err != nil {
+		fatalf("remote: fetch spans: %v", err)
+	}
+	srvHdr, srvSpans, err := runspan.ReadJournal(bytes.NewReader(raw))
+	if err != nil {
+		fatalf("remote: server journal: %v", err)
+	}
+	var parts []runspan.JournalPart
+	if *clientJournal != "" {
+		f, err := os.Open(*clientJournal)
+		if err != nil {
+			fatalf("remote: %v", err)
+		}
+		hdr, spans, err := runspan.ReadJournal(f)
+		f.Close()
+		if err != nil {
+			fatalf("remote: client journal: %v", err)
+		}
+		parts = append(parts, runspan.JournalPart{Label: "client", Header: hdr, Spans: spans})
+	}
+	parts = append(parts, runspan.JournalPart{Label: "hbatd", Header: srvHdr, Spans: srvSpans})
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("remote: %v", err)
+	}
+	st, err := runspan.WriteMergedPerfetto(f, parts)
+	if err != nil {
+		f.Close()
+		fatalf("remote: merge: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("remote: %v", err)
+	}
+	logger.Debug("merged timeline written", "job", *jobID, "path", *out, "linked_roots", st.Linked)
+	for i, p := range parts {
+		fmt.Printf("%-6s %d spans\n", p.Label, st.Spans[i])
+	}
+	fmt.Printf("linked %d root span(s) across processes -> %s\n", st.Linked, *out)
+	if len(parts) > 1 && st.Linked == 0 {
+		fatalf("remote: journals share no parent/child link — is %s the job the client journal submitted?", *jobID)
 	}
 }
 

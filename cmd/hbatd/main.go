@@ -118,6 +118,10 @@ func main() {
 		Engine: eng,
 		Spans:  obsFlags.Tracer(),
 		Logger: logger,
+		// The fabric's RED families (per-route/per-tenant request
+		// counters and duration histograms, queue depth, quota gauges)
+		// ride along on the same /metrics exposition.
+		Extra: svc.MetricsFamilies,
 	}))
 
 	ln, err := net.Listen("tcp", *addr)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"hbat/api"
+	"hbat/internal/runspan"
 )
 
 // Fabric is a handle to a sweep fabric: either a remote hbatd service
@@ -63,6 +64,16 @@ func (f *Fabric) SetTenant(tenant string) {
 // that is the point). Observation-only options (Trace, IntervalEvery,
 // Progress) do not cross the wire; requests carrying them are rejected
 // in remote mode rather than silently dropped.
+//
+// Every remote Simulate mints a fresh W3C-style trace context and
+// sends it with the job, so the server's job > run > simulate span
+// tree parents under this call's fabric_simulate span: one trace
+// across both processes, retrievable from the server with
+// Client.Spans (or `hbat-trace remote`) under Result.TraceID. The
+// client-side spans (submit, poll_wait, fetch_result) land in this
+// process's shared span tracer when one is attached (SetSpanTracer);
+// the trace context is sent regardless, so server-side spans and logs
+// are correlated even for an untraced client.
 func (f *Fabric) Simulate(ctx context.Context, o Options) (*Result, error) {
 	if f.client == nil {
 		return Simulate(ctx, o)
@@ -70,28 +81,73 @@ func (f *Fabric) Simulate(ctx context.Context, o Options) (*Result, error) {
 	if o.Trace != nil || o.IntervalEvery > 0 || o.Progress != nil {
 		return nil, fmt.Errorf("hbat: Trace/IntervalEvery/Progress are local-only options; run them without a remote fabric")
 	}
-	acc, err := f.client.Submit(ctx, api.JobRequest{Specs: []api.SimOptions{o.wire()}})
-	if err != nil {
+	tc := runspan.NewTraceContext()
+	tr := Spans()
+	var (
+		ft   runspan.TraceID
+		root *runspan.Span
+	)
+	if tr.Enabled() {
+		// The client root carries its own wire span id (tc.SpanID) and
+		// no remote parent: it is where the cross-process trace begins.
+		ft = tr.NewTraceWith(tc.TraceID, tc.SpanID, "")
+		root = tr.Start(ft, nil, "fabric_simulate").SetAttr("addr", f.client.Base)
+		if o.Workload != "" {
+			root.SetAttr("workload", o.Workload)
+		}
+		if o.Design != "" {
+			root.SetAttr("design", o.Design)
+		}
+	}
+	fail := func(err error) (*Result, error) {
+		if root != nil {
+			root.SetAttr("error", err.Error())
+			root.End()
+		}
 		return nil, err
 	}
-	st, err := f.client.Wait(ctx, acc.ID)
+
+	sub := tr.Start(ft, root, "submit")
+	acc, err := f.client.Submit(ctx, api.JobRequest{
+		Specs:       []api.SimOptions{o.wire()},
+		Traceparent: tc.Traceparent(),
+	})
 	if err != nil {
-		return nil, err
+		sub.End()
+		return fail(err)
+	}
+	sub.SetAttr("job", acc.ID).End()
+
+	wait := tr.Start(ft, root, "poll_wait")
+	st, err := f.client.Wait(ctx, acc.ID)
+	wait.End()
+	if err != nil {
+		return fail(err)
 	}
 	if len(st.Specs) != 1 {
-		return nil, fmt.Errorf("hbat: fabric returned %d specs for a one-spec job", len(st.Specs))
+		return fail(fmt.Errorf("hbat: fabric returned %d specs for a one-spec job", len(st.Specs)))
 	}
 	sp := st.Specs[0]
 	if sp.State == api.StateFailed || sp.Error != "" {
-		return nil, fmt.Errorf("hbat: remote simulation failed: %s", sp.Error)
+		return fail(fmt.Errorf("hbat: remote simulation failed: %s", sp.Error))
 	}
+
+	fetch := tr.Start(ft, root, "fetch_result")
 	data, _, err := f.client.Result(ctx, sp.SpecKey)
+	fetch.End()
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	var wire api.Result
 	if err := json.Unmarshal(data, &wire); err != nil {
-		return nil, fmt.Errorf("hbat: malformed remote artifact: %w", err)
+		return fail(fmt.Errorf("hbat: malformed remote artifact: %w", err))
 	}
-	return &Result{Result: wire}, nil
+	root.End()
+	res := &Result{Result: wire, JobID: acc.ID, TraceID: acc.TraceID}
+	if res.TraceID == "" {
+		// A server predating span propagation does not echo the trace
+		// id; the client-minted one still names the client-side spans.
+		res.TraceID = tc.TraceID
+	}
+	return res, nil
 }

@@ -1,0 +1,175 @@
+package hbat
+
+// The distributed-tracing acceptance test: a Dial-submitted job
+// against a live (in-process) hbatd service produces a client span
+// journal and a server span journal sharing one trace id, with the
+// server's job root parented under the client's fabric_simulate span
+// and the engine's run tree under the job — and the two journals merge
+// into one valid Perfetto timeline.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hbat/api"
+	"hbat/internal/engine"
+	"hbat/internal/runspan"
+	"hbat/internal/store"
+	"hbat/internal/transport"
+)
+
+func TestFabricTraceEndToEnd(t *testing.T) {
+	ctx := context.Background()
+
+	// Server side: a fabric service whose engine shares the service
+	// tracer, exactly as `hbatd -spans` wires it.
+	srvTr := runspan.New(runspan.Config{})
+	eng := engine.New()
+	eng.SetSpans(srvTr)
+	st, err := store.New(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := transport.New(transport.Config{Engine: eng, Store: st, Workers: 2, Spans: srvTr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	// Client side: the facade's shared tracer, journaled to disk the
+	// way a -spans CLI run is.
+	cliJournal := filepath.Join(t.TempDir(), "client-spans.jsonl")
+	cliTr := NewSpanTracer()
+	if err := cliTr.OpenJournal(cliJournal); err != nil {
+		t.Fatal(err)
+	}
+	SetSpanTracer(cliTr)
+	defer SetSpanTracer(nil)
+
+	f, err := Dial(ctx, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Remote() {
+		t.Fatalf("Dial fell back to local: %v", f.FallbackErr())
+	}
+	res, err := f.Simulate(ctx, Options{
+		CommonOptions: CommonOptions{Scale: "test"},
+		Workload:      "compress",
+		Design:        "T4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobID == "" || len(res.TraceID) != 32 {
+		t.Fatalf("result job/trace identity = %q/%q", res.JobID, res.TraceID)
+	}
+	if err := cliTr.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both journals, read back the way hbat-trace remote reads them.
+	raw, err := api.NewClient(ts.URL).Spans(ctx, res.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvHdr, srvSpans, err := runspan.ReadJournal(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("server journal: %v", err)
+	}
+	cf, err := os.Open(cliJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliHdr, cliSpans, err := runspan.ReadJournal(cf)
+	cf.Close()
+	if err != nil {
+		t.Fatalf("client journal: %v", err)
+	}
+
+	// One shared trace id on every span of both processes.
+	for _, d := range append(append([]runspan.SpanData{}, cliSpans...), srvSpans...) {
+		if d.TraceW3C != res.TraceID {
+			t.Fatalf("span %q trace_id = %q, want %q", d.Name, d.TraceW3C, res.TraceID)
+		}
+	}
+
+	// Parent/child linkage: client fabric_simulate <- server job <- run.
+	var cliRoot, srvJob, srvRun *runspan.SpanData
+	for i := range cliSpans {
+		if cliSpans[i].Name == "fabric_simulate" && cliSpans[i].Parent == 0 {
+			cliRoot = &cliSpans[i]
+		}
+	}
+	for i := range srvSpans {
+		switch {
+		case srvSpans[i].Name == "job" && srvSpans[i].Parent == 0:
+			srvJob = &srvSpans[i]
+		case srvSpans[i].Name == "run" && srvSpans[i].Parent == 0:
+			srvRun = &srvSpans[i]
+		}
+	}
+	if cliRoot == nil || srvJob == nil || srvRun == nil {
+		t.Fatalf("missing roots: client fabric_simulate %v, server job %v, server run %v",
+			cliRoot != nil, srvJob != nil, srvRun != nil)
+	}
+	if cliRoot.SpanW3C == "" || srvJob.RemoteParent != cliRoot.SpanW3C {
+		t.Fatalf("server job parented under %q, want client span %q", srvJob.RemoteParent, cliRoot.SpanW3C)
+	}
+	if srvRun.RemoteParent != srvJob.SpanW3C {
+		t.Fatalf("server run parented under %q, want job span %q", srvRun.RemoteParent, srvJob.SpanW3C)
+	}
+	// The client's submit/poll/fetch phases and the server's simulate
+	// phase all made it to their journals.
+	names := map[string]bool{}
+	for _, d := range cliSpans {
+		names[d.Name] = true
+	}
+	for _, want := range []string{"submit", "poll_wait", "fetch_result"} {
+		if !names[want] {
+			t.Errorf("client journal missing %q span", want)
+		}
+	}
+	names = map[string]bool{}
+	for _, d := range srvSpans {
+		names[d.Name] = true
+	}
+	for _, want := range []string{"queue_wait", "simulate"} {
+		if !names[want] {
+			t.Errorf("server journal missing %q span", want)
+		}
+	}
+
+	// The merged timeline renders, links the processes, and is valid
+	// trace-event JSON.
+	var buf bytes.Buffer
+	mst, err := runspan.WriteMergedPerfetto(&buf, []runspan.JournalPart{
+		{Label: "client", Header: cliHdr, Spans: cliSpans},
+		{Label: "hbatd", Header: srvHdr, Spans: srvSpans},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mst.Linked < 1 {
+		t.Fatalf("merged timeline linked %d roots across processes, want >= 1", mst.Linked)
+	}
+	if mst.Spans[0] != len(cliSpans) || mst.Spans[1] != len(srvSpans) {
+		t.Fatalf("merge stats %v, want [%d %d]", mst.Spans, len(cliSpans), len(srvSpans))
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged timeline is not valid trace-event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < len(cliSpans)+len(srvSpans) {
+		t.Fatalf("merged timeline has %d events for %d spans", len(doc.TraceEvents), len(cliSpans)+len(srvSpans))
+	}
+}

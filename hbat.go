@@ -199,6 +199,14 @@ type Result struct {
 	// Intervals is the sampled time series (nil unless
 	// Options.IntervalEvery was positive).
 	Intervals *IntervalSeries
+
+	// JobID and TraceID identify the remote job that produced this
+	// result (remote Fabric.Simulate only; empty for local runs).
+	// TraceID is the cross-process trace id shared by the client's
+	// fabric_simulate span and the server's job/run spans — the handle
+	// `hbat-trace remote` merges journals by.
+	JobID   string
+	TraceID string
 }
 
 // Artifact renders the result's canonical artifact: the indented JSON

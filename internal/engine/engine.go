@@ -411,6 +411,11 @@ type RunRecord struct {
 	// fast_forward, simulate) when span tracing is enabled; nil
 	// otherwise.
 	PhaseMs map[string]float64 `json:"phase_ms,omitempty"`
+	// TraceID is the cross-process trace id the run executed under
+	// (runspan.ContextWithTrace) — the same id the submitting client's
+	// spans and the serving transport's access log carry. Empty for
+	// runs with no propagated trace context.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // RunLog returns a copy of the engine's provenance log: every request
@@ -424,7 +429,7 @@ func (e *Engine) RunLog() []RunRecord {
 // record appends a provenance entry and folds an executed run's
 // metrics into the live aggregate. Completion doubles as a watchdog
 // heartbeat.
-func (e *Engine) record(id uint64, spec RunSpec, res *RunResult, cached bool, phases map[string]float64) {
+func (e *Engine) record(id uint64, spec RunSpec, res *RunResult, cached bool, phases map[string]float64, traceID string) {
 	e.heartbeat()
 	rec := RunRecord{
 		RunID:    id,
@@ -436,6 +441,7 @@ func (e *Engine) record(id uint64, spec RunSpec, res *RunResult, cached bool, ph
 		WallMs:   float64(res.Wall.Microseconds()) / 1e3,
 		Cached:   cached,
 		PhaseMs:  phases,
+		TraceID:  traceID,
 	}
 	if res.Err != nil {
 		rec.Error = res.Err.Error()
@@ -580,11 +586,15 @@ func (e *Engine) Run(ctx context.Context, spec RunSpec) RunResult {
 		res.Cached = true
 		res.Wall = 0
 		id := e.runSeq.Add(1)
+		tc, hasTC := runspan.TraceFromContext(ctx)
 		if tr := e.Spans(); tr.Enabled() {
 			// Memo hits get a minimal trace of their own: a root span
 			// covering the (usually zero) wait on the producer, so hit
 			// traffic is visible on the timeline next to real runs.
 			rt := tr.NewTrace()
+			if hasTC {
+				rt = tr.NewTraceWith(tc.TraceID, runspan.NewSpanID(), tc.SpanID)
+			}
 			hroot := tr.StartAt(rt, nil, "run", waitMark).
 				SetAttr("workload", spec.Workload).
 				SetAttr("design", spec.Design).
@@ -594,8 +604,11 @@ func (e *Engine) Run(ctx context.Context, spec RunSpec) RunResult {
 			tr.StartAt(rt, hroot, "memo_wait", waitMark).End()
 			hroot.End()
 		}
-		e.record(id, spec, &res, true, nil)
+		e.record(id, spec, &res, true, nil, tc.TraceID)
 		if lg := e.runLogger(id, spec); lg != nil {
+			if hasTC {
+				lg = lg.With("trace_id", tc.TraceID)
+			}
 			lg.Info("run finished", "wall_ms", 0.0, "cache", "hit")
 		}
 		return res
@@ -616,13 +629,21 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec) (RunResult, *runspan
 	id := e.runSeq.Add(1)
 	lg := e.runLogger(id, spec)
 	tr := e.Spans()
+	tc, hasTC := runspan.TraceFromContext(ctx)
 	var (
 		rt     runspan.TraceID
 		root   *runspan.Span
 		phases map[string]float64
 	)
 	if tr.Enabled() {
-		rt = tr.NewTrace()
+		if hasTC {
+			// A propagated trace context (a remote submitter, or the
+			// fabric service's per-job span) parents this run's root
+			// under the caller's span and stamps the shared trace id.
+			rt = tr.NewTraceWith(tc.TraceID, runspan.NewSpanID(), tc.SpanID)
+		} else {
+			rt = tr.NewTrace()
+		}
 		root = tr.Start(rt, nil, "run").
 			SetAttr("workload", spec.Workload).
 			SetAttr("design", spec.Design).
@@ -630,8 +651,14 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec) (RunResult, *runspan
 			SetAttr("run_id", strconv.FormatUint(id, 10))
 		phases = make(map[string]float64, 4)
 		if lg != nil {
-			lg = lg.With("trace_id", uint64(rt), "span_id", root.ID())
+			if hasTC {
+				lg = lg.With("trace_id", tc.TraceID, "span_id", root.ID())
+			} else {
+				lg = lg.With("trace_id", uint64(rt), "span_id", root.ID())
+			}
 		}
+	} else if hasTC && lg != nil {
+		lg = lg.With("trace_id", tc.TraceID)
 	}
 	// endPhase closes a phase span and folds its wall time into the
 	// manifest's per-phase breakdown. Nil-safe (disabled tracer).
@@ -653,7 +680,7 @@ func (e *Engine) execute(ctx context.Context, spec RunSpec) (RunResult, *runspan
 			}
 			root.End()
 		}
-		e.record(id, spec, &res, false, phases)
+		e.record(id, spec, &res, false, phases, tc.TraceID)
 		if lg != nil {
 			switch {
 			case res.Err != nil:

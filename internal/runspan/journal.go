@@ -132,6 +132,40 @@ func (t *Tracer) CloseJournal() error {
 	return err
 }
 
+// WriteJournalTo writes a one-shot span journal to w — the same
+// versioned header + JSON-lines format the streamed journal uses —
+// containing the finished spans that carry the given cross-process
+// trace id (every finished span when w3cTraceID is empty). It is the
+// renderer behind GET /v1/jobs/{id}/spans: a remote client reads the
+// result back with ReadJournal exactly as it would a local journal
+// file. Safe on a nil tracer (writes nothing, returns nil).
+func (t *Tracer) WriteJournalTo(w io.Writer, w3cTraceID string) error {
+	if t == nil {
+		return nil
+	}
+	h, err := json.Marshal(Header{V: JournalVersion, Epoch: t.epoch.UTC().Format(time.RFC3339Nano)})
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(h, '\n')); err != nil {
+		return err
+	}
+	spans := t.Spans()
+	if w3cTraceID != "" {
+		spans = t.SpansForTrace(w3cTraceID)
+	}
+	for _, d := range spans {
+		b, err := json.Marshal(d)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ReadJournal decodes a span journal. It is torn-tail tolerant: a
 // final line that is incomplete (no newline) or fails to decode —
 // the crash case the fsync discipline is designed around — is

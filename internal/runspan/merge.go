@@ -1,0 +1,114 @@
+package runspan
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"hbat/internal/ptrace"
+)
+
+// JournalPart is one process's span journal, as fetched or read back
+// by a merging client: its display label ("client", "hbatd", ...),
+// the journal header (whose epoch anchors the spans on the shared
+// wall-clock axis), and the decoded spans.
+type JournalPart struct {
+	Label  string
+	Header Header
+	Spans  []SpanData
+}
+
+// MergeStats summarizes the cross-process linkage WriteMergedPerfetto
+// found: how many spans each part contributed and how many root spans
+// were parented under a span of another part — zero linked roots on a
+// two-part merge means the journals do not actually share a trace.
+type MergeStats struct {
+	Spans  []int // per part, same order as the input
+	Linked int   // roots whose RemoteParent resolved to another part's span
+}
+
+// WriteMergedPerfetto renders several span journals — typically the
+// submitting client's and the serving hbatd's — as one Chrome/Perfetto
+// trace-event document on a single wall-clock axis. Each part's spans
+// are shifted by its epoch's offset from the earliest epoch, so a
+// server span opened two processes away still lands at the true wall
+// time inside the client's Simulate span. Each part becomes its own
+// Perfetto process with one thread per internal trace, keeping the
+// per-part layout identical to the single-process export.
+func WriteMergedPerfetto(w io.Writer, parts []JournalPart) (MergeStats, error) {
+	st := MergeStats{Spans: make([]int, len(parts))}
+	if len(parts) == 0 {
+		return st, fmt.Errorf("runspan: nothing to merge")
+	}
+
+	// Epoch alignment: every part's StartUS values are microseconds
+	// since its own header epoch; shift them all onto the earliest one.
+	epochs := make([]time.Time, len(parts))
+	var min time.Time
+	for i, p := range parts {
+		ep, err := time.Parse(time.RFC3339Nano, p.Header.Epoch)
+		if err != nil {
+			return st, fmt.Errorf("runspan: part %q: bad epoch %q: %w", p.Label, p.Header.Epoch, err)
+		}
+		epochs[i] = ep
+		if i == 0 || ep.Before(min) {
+			min = ep
+		}
+	}
+
+	// Cross-process linkage: which wire span ids exist in which part.
+	spanOwner := make(map[string]int)
+	for i, p := range parts {
+		for _, d := range p.Spans {
+			if d.SpanW3C != "" {
+				spanOwner[d.SpanW3C] = i
+			}
+		}
+	}
+
+	pw := ptrace.NewPerfettoWriter(w)
+	for i, p := range parts {
+		shift := epochs[i].Sub(min).Microseconds()
+		pw.ProcessName(i, fmt.Sprintf("%s (wall µs, epoch %+dµs)", p.Label, shift))
+		spans := make([]SpanData, len(p.Spans))
+		copy(spans, p.Spans)
+		sort.Slice(spans, func(a, b int) bool {
+			x, y := spans[a], spans[b]
+			if x.Trace != y.Trace {
+				return x.Trace < y.Trace
+			}
+			if x.StartUS != y.StartUS {
+				return x.StartUS < y.StartUS
+			}
+			return x.Span < y.Span
+		})
+		named := make(map[TraceID]bool)
+		for _, d := range spans {
+			if !named[d.Trace] {
+				named[d.Trace] = true
+				label := fmt.Sprintf("%s %s", p.Label, threadLabel(rootOf(spans, d.Trace)))
+				pw.ThreadName(i, int(d.Trace), label)
+			}
+			pw.Slice(i, int(d.Trace), d.StartUS+shift, d.DurUS, d.Name, jargs(d))
+			st.Spans[i]++
+			if d.Parent == 0 && d.RemoteParent != "" {
+				if owner, ok := spanOwner[d.RemoteParent]; ok && owner != i {
+					st.Linked++
+				}
+			}
+		}
+	}
+	return st, pw.Close()
+}
+
+// rootOf finds a trace's root span in a part's (sorted) span list,
+// falling back to a placeholder when the root is missing (torn tail).
+func rootOf(spans []SpanData, id TraceID) SpanData {
+	for _, d := range spans {
+		if d.Trace == id && d.Parent == 0 {
+			return d
+		}
+	}
+	return SpanData{Trace: id, Name: "trace"}
+}

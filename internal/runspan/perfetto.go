@@ -29,6 +29,15 @@ const (
 func jargs(d SpanData) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "\"trace\":%d,\"span\":%d", d.Trace, d.Span)
+	if d.TraceW3C != "" {
+		fmt.Fprintf(&b, ",\"trace_id\":%s", jstr(d.TraceW3C))
+	}
+	if d.SpanW3C != "" {
+		fmt.Fprintf(&b, ",\"span_id\":%s", jstr(d.SpanW3C))
+	}
+	if d.RemoteParent != "" {
+		fmt.Fprintf(&b, ",\"parent_span_id\":%s", jstr(d.RemoteParent))
+	}
 	keys := make([]string, 0, len(d.Attrs))
 	for k := range d.Attrs {
 		keys = append(keys, k)

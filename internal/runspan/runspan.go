@@ -33,6 +33,13 @@ type TraceID uint64
 // SpanData is one finished span, exactly as journaled. Attrs is a
 // plain string map; encoding/json sorts map keys, so a SpanData
 // marshals to deterministic bytes.
+//
+// The three W3C-style fields are only populated on traces bound to a
+// cross-process TraceContext (NewTraceWith): every span of such a
+// trace carries the shared hex TraceW3C, and the trace's root span
+// additionally carries its own wire identity (SpanW3C) and the remote
+// span it is parented under (RemoteParent) — the linkage a merged
+// multi-process timeline is reassembled from.
 type SpanData struct {
 	Trace   TraceID           `json:"trace"`
 	Span    uint64            `json:"span"`
@@ -41,6 +48,17 @@ type SpanData struct {
 	StartUS int64             `json:"start_us"`
 	DurUS   int64             `json:"dur_us"`
 	Attrs   map[string]string `json:"attrs,omitempty"`
+
+	// TraceW3C is the 32-hex cross-process trace id shared by every
+	// participating process's spans.
+	TraceW3C string `json:"trace_id,omitempty"`
+	// SpanW3C is this span's own 16-hex wire identity (root spans of
+	// bound traces only) — what a downstream process's RemoteParent
+	// points at.
+	SpanW3C string `json:"span_id,omitempty"`
+	// RemoteParent is the 16-hex span id (usually in another process)
+	// this root span is parented under.
+	RemoteParent string `json:"parent_span_id,omitempty"`
 }
 
 // OpenSpan is a still-running span as reported by Open: its identity
@@ -95,6 +113,9 @@ type Tracer struct {
 	mu      sync.Mutex
 	spanSeq uint64
 	trcSeq  uint64
+	// bind maps internally-allocated trace ids to their cross-process
+	// identity (NewTraceWith); unbound traces stay local-only.
+	bind    map[TraceID]traceBinding
 	open    map[uint64]*Span
 	done    []SpanData // every finished span, for export
 	recent  []SpanData // ring of the last RecentCap finished spans
@@ -157,6 +178,38 @@ func (t *Tracer) NewTrace() TraceID {
 	return id
 }
 
+// traceBinding is a trace's cross-process identity.
+type traceBinding struct {
+	w3c    string // shared hex trace id, stamped on every span
+	span   string // the trace's root span's own wire span id
+	parent string // remote span id the root is parented under
+}
+
+// NewTraceWith allocates a trace bound to a cross-process identity:
+// every span of the trace carries w3cTraceID as its trace_id; the
+// trace's root spans additionally carry ownSpanID as their wire
+// span_id and remoteParent as the span (typically in another process)
+// they are parented under. Either of ownSpanID/remoteParent may be
+// empty: a client minting a brand-new trace has no remote parent, and
+// a process that will not be propagated past needs no wire span id.
+// Returns 0 when disabled.
+func (t *Tracer) NewTraceWith(w3cTraceID, ownSpanID, remoteParent string) TraceID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	t.trcSeq++
+	id := TraceID(t.trcSeq)
+	if w3cTraceID != "" {
+		if t.bind == nil {
+			t.bind = make(map[TraceID]traceBinding)
+		}
+		t.bind[id] = traceBinding{w3c: w3cTraceID, span: ownSpanID, parent: remoteParent}
+	}
+	t.mu.Unlock()
+	return id
+}
+
 // Start opens a span under parent (nil parent = trace root) starting
 // now. Returns nil when disabled.
 func (t *Tracer) Start(trace TraceID, parent *Span, name string) *Span {
@@ -188,6 +241,16 @@ func (t *Tracer) startAt(trace TraceID, parent *Span, name string, at time.Durat
 	t.mu.Lock()
 	t.spanSeq++
 	s.data.Span = t.spanSeq
+	if b, ok := t.bind[trace]; ok {
+		s.data.TraceW3C = b.w3c
+		if parent == nil {
+			// Only the trace's roots carry the wire identity and the
+			// remote parent: children are linked through their local
+			// parent chain.
+			s.data.SpanW3C = b.span
+			s.data.RemoteParent = b.parent
+		}
+	}
 	t.open[s.data.Span] = s
 	t.mu.Unlock()
 	return s
@@ -382,4 +445,33 @@ func (t *Tracer) Spans() []SpanData {
 	copy(out, t.done)
 	t.mu.Unlock()
 	return out
+}
+
+// SpansForTrace returns every finished span carrying the given
+// cross-process trace id, in completion order — the server side of
+// GET /v1/jobs/{id}/spans.
+func (t *Tracer) SpansForTrace(w3cTraceID string) []SpanData {
+	if t == nil || w3cTraceID == "" {
+		return nil
+	}
+	t.mu.Lock()
+	var out []SpanData
+	for _, d := range t.done {
+		if d.TraceW3C == w3cTraceID {
+			out = append(out, d)
+		}
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// Subscribers reports the number of live Subscribe feeds — the value
+// the SSE leak tests (and a queue-depth gauge) watch.
+func (t *Tracer) Subscribers() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.subs)
 }

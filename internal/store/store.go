@@ -376,6 +376,22 @@ func (s *Store) TenantUsage(tenant string) int64 {
 	return s.tenants[tenant]
 }
 
+// TenantQuota returns the configured per-tenant byte quota (0 means
+// unlimited) — the denominator of a quota-utilization gauge.
+func (s *Store) TenantQuota() int64 { return s.cfg.TenantQuotaBytes }
+
+// Tenants returns a snapshot of live bytes per tenant — every tenant
+// with attributed bytes, for quota-utilization gauges.
+func (s *Store) Tenants() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.tenants))
+	for t, b := range s.tenants {
+		out[t] = b
+	}
+	return out
+}
+
 // Stats returns the store's counters and occupancy.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()

@@ -1,0 +1,334 @@
+// RED instrumentation for the fabric's HTTP surface: a middleware
+// that records request rate, error class, and duration per route
+// template and per tenant, plus gauges over the service's live state
+// (open jobs, worker-queue depth, store quota utilization). The
+// families are exported through obs.Config.Extra, so hbatd's /metrics
+// serves them next to the registry-backed simulation metrics in one
+// promcheck-valid exposition.
+//
+// Routes are recorded as templates ("/v1/jobs/{id}/events"), never raw
+// paths, so label cardinality is bounded by the API surface, not by
+// job-id traffic. The tenant label is resolved by the handler (a body
+// tenant overrides the header, exactly as admission sees it) and
+// published back to the middleware through a per-request holder in the
+// context; the same holder carries the job's trace id into the access
+// log, so one grep by trace_id crosses the client/server boundary.
+package transport
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hbat/api"
+	"hbat/internal/obs"
+)
+
+// redBounds are the request-duration histogram's upper bounds in
+// milliseconds: roughly exponential from sub-millisecond pings to
+// multi-second simulation-heavy polls.
+var redBounds = []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// reqInfo is the per-request holder the middleware shares with the
+// handler: the middleware injects it before routing, the handler fills
+// in what only it can resolve (tenant, trace id), and the middleware
+// reads it back when the response is done.
+type reqInfo struct {
+	mu     sync.Mutex
+	tenant string
+	trace  string
+}
+
+type reqInfoKey struct{}
+
+// annotate publishes the request's resolved tenant and trace id to the
+// middleware's holder, if one is present. Empty arguments leave the
+// corresponding field untouched.
+func annotate(ctx context.Context, tenant, trace string) {
+	ri, ok := ctx.Value(reqInfoKey{}).(*reqInfo)
+	if !ok {
+		return
+	}
+	ri.mu.Lock()
+	if tenant != "" {
+		ri.tenant = tenant
+	}
+	if trace != "" {
+		ri.trace = trace
+	}
+	ri.mu.Unlock()
+}
+
+// routeTemplate maps a request path to its bounded route label.
+func routeTemplate(path string) string {
+	switch {
+	case path == api.PathPing:
+		return api.PathPing
+	case path == api.PathJobs:
+		return api.PathJobs
+	case path == api.PathManifest:
+		return api.PathManifest
+	case strings.HasPrefix(path, api.PathResults):
+		return api.PathResults + "{speckey}"
+	case strings.HasPrefix(path, api.PathJobs+"/"):
+		rest := strings.TrimPrefix(path, api.PathJobs+"/")
+		_, sub, _ := strings.Cut(rest, "/")
+		switch sub {
+		case "":
+			return api.PathJobs + "/{id}"
+		case "events":
+			return api.PathJobs + "/{id}/events"
+		case "spans":
+			return api.PathJobs + "/{id}/spans"
+		}
+	}
+	return "other"
+}
+
+// statusWriter captures the response status code while preserving the
+// Flusher the SSE handler depends on.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// redKey identifies one RED series.
+type redKey struct {
+	route  string
+	tenant string
+}
+
+// redEntry accumulates one (route, tenant) pair's request counts by
+// status class and its duration histogram.
+type redEntry struct {
+	byClass map[string]uint64 // "2xx" | "3xx" | "4xx" | "5xx"
+	counts  []uint64          // len(redBounds)+1; last is +Inf
+	sum     float64           // milliseconds
+	count   uint64
+}
+
+// red is the middleware's accumulator, shared by every request.
+type red struct {
+	mu      sync.Mutex
+	entries map[redKey]*redEntry
+}
+
+func (m *red) observe(route, tenant, class string, ms float64) {
+	m.mu.Lock()
+	if m.entries == nil {
+		m.entries = make(map[redKey]*redEntry)
+	}
+	k := redKey{route: route, tenant: tenant}
+	e := m.entries[k]
+	if e == nil {
+		e = &redEntry{
+			byClass: make(map[string]uint64, 4),
+			counts:  make([]uint64, len(redBounds)+1),
+		}
+		m.entries[k] = e
+	}
+	e.byClass[class]++
+	slot := len(redBounds)
+	for i, b := range redBounds {
+		if ms <= float64(b) {
+			slot = i
+			break
+		}
+	}
+	e.counts[slot]++
+	e.sum += ms
+	e.count++
+	m.mu.Unlock()
+}
+
+// Middleware wraps next with the fabric's RED instrumentation and
+// access log. Every response is counted under its route template,
+// tenant, and status class; the duration lands in the per-route
+// histogram; and one Info-level access-log record is emitted through
+// the service's logger — which hbatd builds from the shared
+// -log-level/-log-format flags, so `-log-level warn` silences the
+// access log exactly like every other binary's chatter.
+func (s *Service) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ri := &reqInfo{}
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri)))
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1e3
+		route := routeTemplate(r.URL.Path)
+		ri.mu.Lock()
+		ten, trace := ri.tenant, ri.trace
+		ri.mu.Unlock()
+		if ten == "" {
+			// Handlers that never resolve a tenant (ping, manifest,
+			// results) still get a bounded label from the header path.
+			if ten = r.Header.Get(api.TenantHeader); ten == "" {
+				ten = "default"
+			}
+		}
+		class := "5xx"
+		switch sw.code / 100 {
+		case 2:
+			class = "2xx"
+		case 3:
+			class = "3xx"
+		case 4:
+			class = "4xx"
+		}
+		s.red.observe(route, ten, class, ms)
+		lg := s.log().With(
+			"method", r.Method, "route", route, "tenant", ten,
+			"status", sw.code, "wall_ms", ms,
+		)
+		if trace != "" {
+			lg = lg.With("trace_id", trace)
+		}
+		lg.Info("http request")
+	})
+}
+
+// MetricsFamilies exports the fabric's RED counters and live-state
+// gauges as exposition families — hand it to obs.Config.Extra. Series
+// are emitted in sorted label order so scrapes are stable.
+func (s *Service) MetricsFamilies() []obs.Family {
+	s.red.mu.Lock()
+	keys := make([]redKey, 0, len(s.red.entries))
+	for k := range s.red.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].tenant < keys[j].tenant
+	})
+	req := obs.Family{
+		Name: "hbat_fabric_requests", Kind: "counter",
+		Help: "Requests served by the v1 job API, by route template, tenant, and status class.",
+	}
+	dur := obs.Family{
+		Name: "hbat_fabric_request_duration_ms", Kind: "histogram",
+		Help: "Request wall time in milliseconds, by route template and tenant.",
+	}
+	for _, k := range keys {
+		e := s.red.entries[k]
+		classes := make([]string, 0, len(e.byClass))
+		for c := range e.byClass {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			req.Series = append(req.Series, obs.Series{
+				Labels: []obs.Label{{Name: "route", Value: k.route}, {Name: "tenant", Value: k.tenant}, {Name: "class", Value: c}},
+				Value:  float64(e.byClass[c]),
+			})
+		}
+		counts := make([]uint64, len(e.counts))
+		copy(counts, e.counts)
+		dur.Hists = append(dur.Hists, obs.HistSeries{
+			Labels: []obs.Label{{Name: "route", Value: k.route}, {Name: "tenant", Value: k.tenant}},
+			Bounds: redBounds,
+			Counts: counts,
+			Sum:    e.sum,
+			Count:  e.count,
+		})
+	}
+	s.red.mu.Unlock()
+
+	open := obs.Family{
+		Name: "hbat_fabric_jobs_open", Kind: "gauge",
+		Help: "Open (admitted, not yet finished) jobs per tenant.",
+	}
+	s.mu.Lock()
+	tenants := make([]string, 0, len(s.byTenant))
+	for t := range s.byTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		open.Series = append(open.Series, obs.Series{
+			Labels: []obs.Label{{Name: "tenant", Value: t}},
+			Value:  float64(s.byTenant[t]),
+		})
+	}
+	s.mu.Unlock()
+	if len(open.Series) == 0 {
+		open.Series = []obs.Series{{Labels: []obs.Label{{Name: "tenant", Value: "default"}}, Value: 0}}
+	}
+
+	depth := obs.Family{
+		Name: "hbat_fabric_queue_depth", Kind: "gauge",
+		Help: "Queued spec tasks per worker shard.",
+	}
+	for i, q := range s.queues {
+		depth.Series = append(depth.Series, obs.Series{
+			Labels: []obs.Label{{Name: "shard", Value: strconv.Itoa(i)}},
+			Value:  float64(len(q)),
+		})
+	}
+
+	bytes := obs.Family{
+		Name: "hbat_fabric_store_tenant_bytes", Kind: "gauge",
+		Help: "Live result-store bytes attributed to each tenant.",
+	}
+	usage := s.cfg.Store.Tenants()
+	utenants := make([]string, 0, len(usage))
+	for t := range usage {
+		utenants = append(utenants, t)
+	}
+	sort.Strings(utenants)
+	for _, t := range utenants {
+		bytes.Series = append(bytes.Series, obs.Series{
+			Labels: []obs.Label{{Name: "tenant", Value: t}},
+			Value:  float64(usage[t]),
+		})
+	}
+	if len(bytes.Series) == 0 {
+		bytes.Series = []obs.Series{{Labels: []obs.Label{{Name: "tenant", Value: "default"}}, Value: 0}}
+	}
+
+	quota := obs.Family{
+		Name: "hbat_fabric_store_quota_bytes", Kind: "gauge",
+		Help: "Configured per-tenant result-store quota in bytes (0 = unlimited).",
+		Series: []obs.Series{{
+			Value: float64(s.cfg.Store.TenantQuota()),
+		}},
+	}
+
+	subs := obs.Family{
+		Name: "hbat_fabric_span_subscribers", Kind: "gauge",
+		Help: "Live span-feed subscriptions (one per open /events stream when tracing is on).",
+		Series: []obs.Series{{
+			Value: float64(s.cfg.Spans.Subscribers()),
+		}},
+	}
+
+	return []obs.Family{req, dur, open, depth, bytes, quota, subs}
+}

@@ -24,6 +24,7 @@ import (
 	"hash/fnv"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -60,10 +61,13 @@ type Config struct {
 	Spans *runspan.Tracer
 }
 
-// specTask is one spec of one job, queued to a worker.
+// specTask is one spec of one job, queued to a worker. enq is the
+// tracer mark taken at enqueue time, so the worker can record the
+// spec's queue wait as a retroactive span.
 type specTask struct {
 	job *job
 	idx int
+	enq time.Duration
 }
 
 // job is one submitted job's live state. mu guards specs/done/state
@@ -71,6 +75,17 @@ type specTask struct {
 type job struct {
 	id     string
 	tenant string
+	// traceID is the job's 32-hex cross-process trace id — the one the
+	// submitter sent via traceparent, or server-minted. Always set,
+	// even with tracing off, so logs and statuses stay correlatable.
+	// spanID is the job root span's own wire identity; engine runs are
+	// parented under it.
+	traceID string
+	spanID  string
+	// trace/root are the job's span tree when the service traces spans
+	// (0/nil otherwise). The root span covers admission to completion.
+	trace runspan.TraceID
+	root  *runspan.Span
 
 	mu    sync.Mutex
 	specs []api.SpecStatus
@@ -103,6 +118,10 @@ type Service struct {
 	byTenant map[string]int
 	draining bool
 	subSeq   uint64
+
+	// red accumulates the Middleware's per-route/per-tenant request
+	// metrics (see metrics.go).
+	red red
 }
 
 // New starts the worker pool and returns the service.
@@ -167,8 +186,9 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Handler returns the /v1 routing table. Mount it at "/" (it matches
-// only /v1/... paths) or compose it with the obs handler.
+// Handler returns the /v1 routing table, wrapped in the RED-metrics
+// and access-log middleware. Mount it at "/" (it matches only /v1/...
+// paths) or compose it with the obs handler.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(api.PathPing, s.handlePing)
@@ -176,7 +196,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc(api.PathJobs+"/", s.handleJob)
 	mux.HandleFunc(api.PathResults, s.handleResult)
 	mux.HandleFunc(api.PathManifest, s.handleManifest)
-	return mux
+	return s.Middleware(mux)
 }
 
 func (s *Service) log() *slog.Logger {
@@ -252,6 +272,7 @@ func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ten := tenant(r, &req)
+	annotate(r.Context(), ten, "")
 	wire := expand(&req)
 	if len(wire) == 0 {
 		writeErr(w, http.StatusBadRequest, "job has no specs")
@@ -262,13 +283,35 @@ func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Trace identity: the submitter's traceparent (body field over
+	// header, per the wire contract) parents the job's span tree under
+	// the client's span; an absent or malformed one — W3C restart
+	// semantics — mints a fresh trace, so curl submissions still get a
+	// trace id to correlate logs, statuses, and the span journal by.
+	tp := req.Traceparent
+	if tp == "" {
+		tp = r.Header.Get(api.TraceparentHeader)
+	}
+	var parentSpan, traceID string
+	if tp != "" {
+		if tc, err := runspan.ParseTraceparent(tp); err == nil {
+			traceID, parentSpan = tc.TraceID, tc.SpanID
+		}
+	}
+	if traceID == "" {
+		traceID = runspan.NewTraceContext().TraceID
+	}
+
 	j := &job{
 		id:       newJobID(),
 		tenant:   ten,
+		traceID:  traceID,
+		spanID:   runspan.NewSpanID(),
 		state:    api.StateQueued,
 		subs:     make(map[uint64]chan api.Event),
 		finished: make(chan struct{}),
 	}
+	annotate(r.Context(), "", traceID)
 	for _, o := range wire {
 		spec, err := engine.SpecFromWire(o)
 		if err != nil {
@@ -301,7 +344,19 @@ func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 	s.enq.Add(1)
 	s.mu.Unlock()
 
-	s.log().Info("job accepted", "job", j.id, "tenant", ten, "specs", len(j.specs))
+	// The job root span: admission to completion, parented under the
+	// submitting client's span (when one was propagated) and carrying
+	// the job's own wire span id so the engine's run roots can parent
+	// under it in turn.
+	if tr := s.cfg.Spans; tr.Enabled() {
+		j.trace = tr.NewTraceWith(j.traceID, j.spanID, parentSpan)
+		j.root = tr.Start(j.trace, nil, "job").
+			SetAttr("job", j.id).
+			SetAttr("tenant", ten).
+			SetAttr("specs", strconv.Itoa(len(j.specs)))
+	}
+
+	s.log().Info("job accepted", "job", j.id, "tenant", ten, "specs", len(j.specs), "trace_id", j.traceID)
 
 	// Shard the job's specs across the pool by spec key: identical
 	// specs always land on the same worker queue, so a duplicate only
@@ -310,6 +365,10 @@ func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 		API: api.Version, ID: j.id, Tenant: ten, Total: len(j.specs),
 		StatusURL: api.PathJobs + "/" + j.id,
 		EventsURL: api.PathJobs + "/" + j.id + "/events",
+		TraceID:   j.traceID,
+	}
+	if s.cfg.Spans.Enabled() {
+		acc.SpansURL = api.PathJobs + "/" + j.id + "/spans"
 	}
 	for i := range j.specs {
 		acc.SpecKeys = append(acc.SpecKeys, j.specs[i].SpecKey)
@@ -317,7 +376,8 @@ func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		defer s.enq.Done()
 		for i := range j.specs {
-			s.queues[shard(j.specs[i].SpecKey, len(s.queues))] <- specTask{job: j, idx: i}
+			t := specTask{job: j, idx: i, enq: s.cfg.Spans.Now()}
+			s.queues[shard(j.specs[i].SpecKey, len(s.queues))] <- t
 		}
 	}()
 	writeJSON(w, http.StatusAccepted, acc)
@@ -334,13 +394,14 @@ func shard(key string, n int) int {
 func (s *Service) worker(queue <-chan specTask) {
 	defer s.wg.Done()
 	for t := range queue {
-		s.runSpec(t.job, t.idx)
+		s.runSpec(t)
 	}
 }
 
 // runSpec executes (or cache-serves) one spec and publishes its
 // completion.
-func (s *Service) runSpec(j *job, idx int) {
+func (s *Service) runSpec(t specTask) {
+	j, idx := t.job, t.idx
 	j.mu.Lock()
 	st := &j.specs[idx]
 	st.State = api.StateRunning
@@ -351,14 +412,30 @@ func (s *Service) runSpec(j *job, idx int) {
 	spec := j.runs[idx]
 	j.mu.Unlock()
 
+	// The time between enqueue and this pickup is the spec's queue
+	// wait — recorded retroactively so zero-wait specs still show a
+	// (tiny) span and loaded shards show the backlog.
+	tr := s.cfg.Spans
+	if sp := tr.StartAt(j.trace, j.root, "queue_wait", t.enq); sp != nil {
+		sp.SetAttr("spec_key", key).End()
+	}
+
 	var final api.SpecStatus
 	if _, sha, ok := s.cfg.Store.Get(key); ok {
+		if sp := tr.Start(j.trace, j.root, "store_hit"); sp != nil {
+			sp.SetAttr("spec_key", key).End()
+		}
 		final = api.SpecStatus{
 			State: api.StateDone, StoreHit: true,
 			ResultURL: api.PathResults + key, SHA256: sha,
 		}
 	} else {
-		final = s.simulate(j.tenant, key, spec)
+		// Thread the job's trace identity into the engine: its run root
+		// parents under the job span, and the shared trace id lands in
+		// the engine's logs and manifest records.
+		ctx := runspan.ContextWithTrace(context.Background(),
+			runspan.TraceContext{TraceID: j.traceID, SpanID: j.spanID})
+		final = s.simulate(ctx, j.tenant, key, spec)
 	}
 
 	j.mu.Lock()
@@ -389,6 +466,7 @@ func (s *Service) runSpec(j *job, idx int) {
 	j.mu.Unlock()
 
 	if done == total {
+		j.root.End()
 		close(j.finished)
 		s.mu.Lock()
 		s.byTenant[j.tenant]--
@@ -396,14 +474,15 @@ func (s *Service) runSpec(j *job, idx int) {
 			delete(s.byTenant, j.tenant)
 		}
 		s.mu.Unlock()
-		s.log().Info("job finished", "job", j.id, "tenant", j.tenant, "specs", total)
+		s.log().Info("job finished", "job", j.id, "tenant", j.tenant, "specs", total, "trace_id", j.traceID)
 	}
 }
 
 // simulate runs one spec through the engine, renders the canonical
-// artifact, and files it into the store.
-func (s *Service) simulate(tenant, key string, spec engine.RunSpec) api.SpecStatus {
-	res := s.cfg.Engine.Run(context.Background(), spec)
+// artifact, and files it into the store. ctx carries the job's trace
+// identity into the engine's span tracer and logs.
+func (s *Service) simulate(ctx context.Context, tenant, key string, spec engine.RunSpec) api.SpecStatus {
+	res := s.cfg.Engine.Run(ctx, spec)
 	if res.Err != nil {
 		return api.SpecStatus{State: api.StateFailed, Error: res.Err.Error()}
 	}
@@ -487,11 +566,21 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no job %q", id)
 		return
 	}
+	annotate(r.Context(), j.tenant, j.traceID)
 	switch sub {
 	case "":
 		writeJSON(w, http.StatusOK, j.status())
 	case "events":
 		s.serveEvents(w, r, j)
+	case "spans":
+		if !s.cfg.Spans.Enabled() {
+			writeErr(w, http.StatusNotFound, "span tracing is disabled on this server (start hbatd with -spans)")
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := s.cfg.Spans.WriteJournalTo(w, j.traceID); err != nil {
+			s.log().Warn("span journal write failed", "job", j.id, "error", err.Error())
+		}
 	default:
 		writeErr(w, http.StatusNotFound, "no such job endpoint %q", sub)
 	}
@@ -503,7 +592,8 @@ func (j *job) status() api.JobStatus {
 	st := api.JobStatus{
 		API: api.Version, ID: j.id, Tenant: j.tenant,
 		State: j.state, Done: j.done, Total: len(j.specs),
-		Specs: make([]api.SpecStatus, len(j.specs)),
+		Specs:   make([]api.SpecStatus, len(j.specs)),
+		TraceID: j.traceID,
 	}
 	copy(st.Specs, j.specs)
 	return st
@@ -528,6 +618,16 @@ func (s *Service) serveEvents(w http.ResponseWriter, r *http.Request, j *job) {
 	defer cancel()
 	spans, cancelSpans := s.cfg.Spans.Subscribe(64)
 	defer cancelSpans()
+	// Unsubscribe the moment the client goes away, not merely when this
+	// handler returns: a handler blocked mid-Write to a stalled peer
+	// would otherwise keep both subscriptions registered (and the span
+	// feed's channel open) for as long as the write takes to fail.
+	// Both cancels are idempotent, so the deferred calls stay correct.
+	stop := context.AfterFunc(r.Context(), func() {
+		cancel()
+		cancelSpans()
+	})
+	defer stop()
 
 	emit := func(ev api.Event) bool {
 		b, err := json.Marshal(ev)
