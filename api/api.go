@@ -22,6 +22,11 @@ const (
 	PathJobs     = "/v1/jobs"
 	PathResults  = "/v1/results/"
 	PathManifest = "/v1/manifest"
+	// PathWorkers is the fleet-coordinator worker registry (cmd/hbatc):
+	// GET lists the fleet's workers and their probe-driven states, POST
+	// registers one at runtime (the static -worker list seeds it).
+	// Single-node hbatd services do not serve this path.
+	PathWorkers = "/v1/workers"
 )
 
 // TenantHeader names the request header carrying the caller's tenant
@@ -164,6 +169,13 @@ type SpecStatus struct {
 	// SHA256 is its content hash (the ETag, unquoted).
 	ResultURL string `json:"result_url,omitempty"`
 	SHA256    string `json:"sha256,omitempty"`
+	// Worker is the fleet worker that produced (or cached) the result,
+	// set by a coordinator; single-node services leave it empty.
+	Worker string `json:"worker,omitempty"`
+	// Attempts counts dispatches of this spec, set by a coordinator: 1
+	// for a first-try success, more when the spec was retried on
+	// another worker after a failure or timeout.
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // JobStatus is the GET /v1/jobs/{id} response.
@@ -246,6 +258,46 @@ type Result struct {
 	DispatchTLBStalls int64 `json:"dispatch_tlb_stalls"`
 	DispatchROBFull   int64 `json:"dispatch_rob_full"`
 	DispatchLSQFull   int64 `json:"dispatch_lsq_full"`
+}
+
+// Worker states reported by Worker.State, driven by the coordinator's
+// periodic /ready + /v1/manifest probes: "up" serves new work,
+// "draining" finishes what it has but is not dispatched to, "down"
+// failed consecutive probes and is excluded until it answers again.
+const (
+	WorkerUp       = "up"
+	WorkerDraining = "draining"
+	WorkerDown     = "down"
+)
+
+// Worker is one fleet member's registration and probe state, served by
+// GET /v1/workers on a coordinator.
+type Worker struct {
+	// Addr is the worker's base URL (e.g. "http://127.0.0.1:9191").
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	// Tool is the worker's self-reported binary name from its
+	// /v1/manifest (normally "hbatd"); empty until the first
+	// successful manifest probe.
+	Tool string `json:"tool,omitempty"`
+	// Fails counts consecutive failed probes (reset on success).
+	Fails int `json:"fails,omitempty"`
+	// LastProbeMs is how many milliseconds ago the worker was last
+	// probed (-1 before the first probe).
+	LastProbeMs int64 `json:"last_probe_ms"`
+}
+
+// FleetStatus is the GET /v1/workers response.
+type FleetStatus struct {
+	API     string   `json:"api"`
+	Workers []Worker `json:"workers"`
+}
+
+// WorkerRegistration is the POST /v1/workers body: it adds one worker
+// address to a running coordinator's fleet (idempotent for an address
+// already registered).
+type WorkerRegistration struct {
+	Addr string `json:"addr"`
 }
 
 // Error is the JSON error body every non-2xx v1 response carries. It

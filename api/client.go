@@ -1,18 +1,21 @@
 package api
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 )
 
-// Client is a minimal v1 client for an hbatd sweep service. The zero
-// value is not usable; construct with NewClient. All methods honour
-// the passed context and return *Error for structured server errors.
+// Client is a minimal v1 client for an hbatd sweep service (or an
+// hbatc coordinator — they speak the same API). The zero value is not
+// usable; construct with NewClient. All methods honour the passed
+// context and return *Error for structured server errors.
 type Client struct {
 	// Base is the service root, e.g. "http://127.0.0.1:9090" (no
 	// trailing slash).
@@ -22,6 +25,13 @@ type Client struct {
 	// Tenant, when non-empty, is sent as the X-Hbat-Tenant header on
 	// every request.
 	Tenant string
+	// Timeout, when positive, bounds each individual HTTP request
+	// (tightening, never loosening, the caller's context deadline).
+	// Wait applies it per poll, so a hung server fails one request at
+	// a time instead of stalling Wait forever. Events is exempt: an
+	// event stream legitimately outlives any single-request budget, so
+	// its lifetime is bounded only by the caller's context.
+	Timeout time.Duration
 }
 
 // NewClient returns a Client for the service rooted at base.
@@ -34,7 +44,18 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// reqCtx derives the per-request context: ctx plus the client's
+// Timeout, when one is set.
+func (c *Client) reqCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.Timeout > 0 {
+		return context.WithTimeout(ctx, c.Timeout)
+	}
+	return ctx, func() {}
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -111,6 +132,8 @@ func (c *Client) Submit(ctx context.Context, req JobRequest) (JobAccepted, error
 // one finished span per line — the same format a local -spans journal
 // file uses).
 func (c *Client) Spans(ctx context.Context, id string) ([]byte, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+PathJobs+"/"+id+"/spans", nil)
 	if err != nil {
 		return nil, err
@@ -168,6 +191,8 @@ func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
 // Result fetches a rendered artifact by spec key, returning the exact
 // served bytes and their content-hash ETag (unquoted).
 func (c *Client) Result(ctx context.Context, specKey string) ([]byte, string, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+PathResults+specKey, nil)
 	if err != nil {
 		return nil, "", err
@@ -196,4 +221,108 @@ func (c *Client) Result(ctx context.Context, specKey string) ([]byte, string, er
 		etag = etag[1 : n-1]
 	}
 	return data, etag, nil
+}
+
+// Events opens the SSE stream of a job and calls fn for every decoded
+// event until fn returns false, the stream ends, or ctx is done. The
+// terminal "done" event (when one arrives) is delivered to fn like any
+// other; Events returns nil right after it. The stream is lossy by
+// design — a consumer that needs every spec's final state should
+// reconcile with Job after Events returns. The client's Timeout does
+// NOT apply here; bound the stream's lifetime through ctx.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+PathJobs+"/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var apiErr Error
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Message != "" {
+			return &apiErr
+		}
+		return &Error{API: Version, Code: resp.StatusCode, Message: resp.Status}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			continue // tolerate foreign frames on the stream
+		}
+		if !fn(ev) {
+			return nil
+		}
+		if ev.Type == "done" {
+			return nil
+		}
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return sc.Err()
+}
+
+// Ready probes the service's readiness endpoint (served next to the
+// job API on hbatd and hbatc). It returns (true, nil) for a ready
+// service, (false, nil) for one that answered 503 (draining), and a
+// non-nil error when the probe itself failed.
+func (c *Client) Ready(ctx context.Context) (bool, error) {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/ready", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return false, err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return true, nil
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return false, nil
+	}
+	return false, &Error{API: Version, Code: resp.StatusCode, Message: resp.Status}
+}
+
+// Manifest fetches the service's provenance manifest and returns its
+// self-reported tool name — the coordinator's API-compatibility probe.
+func (c *Client) Manifest(ctx context.Context) (tool string, err error) {
+	var man struct {
+		Tool string `json:"tool"`
+	}
+	if err := c.do(ctx, http.MethodGet, PathManifest, nil, &man); err != nil {
+		return "", err
+	}
+	return man.Tool, nil
+}
+
+// Workers fetches a coordinator's fleet registry. Single-node hbatd
+// services answer 404 here.
+func (c *Client) Workers(ctx context.Context) (FleetStatus, error) {
+	var fs FleetStatus
+	err := c.do(ctx, http.MethodGet, PathWorkers, nil, &fs)
+	return fs, err
+}
+
+// RegisterWorker adds a worker address to a running coordinator's
+// fleet.
+func (c *Client) RegisterWorker(ctx context.Context, addr string) error {
+	return c.do(ctx, http.MethodPost, PathWorkers, WorkerRegistration{Addr: addr}, nil)
 }

@@ -1,0 +1,141 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestClientTimeoutUnhangsWait is the regression test for the hung-
+// worker stall: a server that accepts connections but never answers
+// must not block Job/Wait/Result/Ready indefinitely when the client
+// carries a per-request Timeout — even under a background context with
+// no deadline of its own.
+func TestClientTimeoutUnhangsWait(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	// Unblock any still-parked handler before Close waits on it.
+	defer close(release)
+
+	c := NewClient(ts.URL)
+	c.Timeout = 50 * time.Millisecond
+	ctx := context.Background()
+
+	calls := []struct {
+		name string
+		call func() error
+	}{
+		{"Job", func() error { _, err := c.Job(ctx, "j0"); return err }},
+		{"Wait", func() error { _, err := c.Wait(ctx, "j0"); return err }},
+		{"Ping", func() error { return c.Ping(ctx) }},
+		{"Result", func() error { _, _, err := c.Result(ctx, "abc123"); return err }},
+		{"Spans", func() error { _, err := c.Spans(ctx, "j0"); return err }},
+		{"Ready", func() error { _, err := c.Ready(ctx); return err }},
+		{"Manifest", func() error { _, err := c.Manifest(ctx); return err }},
+		{"Submit", func() error { _, err := c.Submit(ctx, JobRequest{}); return err }},
+	}
+	for _, tc := range calls {
+		start := time.Now()
+		err := tc.call()
+		if err == nil {
+			t.Fatalf("%s against a hung server returned nil error", tc.name)
+		}
+		if wall := time.Since(start); wall > 2*time.Second {
+			t.Fatalf("%s took %v against a hung server; Timeout not applied", tc.name, wall)
+		}
+		// The failure must be a deadline, not a server response.
+		if !errors.Is(err, context.DeadlineExceeded) && !os.IsTimeout(err) {
+			// net/http wraps the context error; string-level check as
+			// the fallback for wrapper types that don't implement Is.
+			if !containsTimeout(err) {
+				t.Fatalf("%s error = %v, want a deadline/timeout error", tc.name, err)
+			}
+		}
+	}
+}
+
+func containsTimeout(err error) bool {
+	s := err.Error()
+	for _, frag := range []string{"deadline exceeded", "timeout", "canceled"} {
+		if contains(s, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClientTimeoutTightensNotLoosens: an already-tighter caller
+// deadline wins over a looser client Timeout.
+func TestClientTimeoutTightensNotLoosens(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	defer close(release)
+	c := NewClient(ts.URL)
+	c.Timeout = 30 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Job(ctx, "j0"); err == nil {
+		t.Fatal("hung Job returned nil")
+	}
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Fatalf("caller deadline ignored: Job took %v", wall)
+	}
+}
+
+// TestClientEventsStream decodes SSE frames and stops on the terminal
+// done event.
+func TestClientEventsStream(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		for _, frame := range []string{
+			`{"type":"spec","job":"j1","done":1,"total":2}`,
+			`not json at all`,
+			`{"type":"done","job":"j1","done":2,"total":2}`,
+		} {
+			fmt.Fprintf(w, "data: %s\n\n", frame)
+			fl.Flush()
+		}
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.Timeout = time.Second // must NOT cut the stream short
+	var got []string
+	err := c.Events(context.Background(), "j1", func(ev Event) bool {
+		got = append(got, ev.Type)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "spec" || got[1] != "done" {
+		t.Fatalf("events = %v, want [spec done]", got)
+	}
+}

@@ -1,0 +1,452 @@
+// Package fleet is the sweep fabric's coordinator tier: one hbatc
+// process that fans v1 jobs out across many hbatd workers. It speaks
+// the exact same wire contract as a single worker — hbat.Dial and curl
+// cannot tell the difference — but behind the API it keeps a live
+// worker registry (static -worker list plus registrations, health-
+// probed into an up/draining/down state machine), shards expanded
+// specs across live workers by rendezvous hashing on a checkpoint-
+// affinity key, retries failed or timed-out specs on a different
+// worker with capped exponential backoff, and serves results through
+// its own content-addressed store tier filled exactly once from
+// whichever worker computed each artifact.
+//
+// Sharding uses rendezvous (highest-random-weight) hashing on the
+// spec's affinity key — workload, budget, scale, page size, fast-
+// forward depth, and seed, deliberately NOT the design — so every
+// design of one workload lands on the same worker and that worker's
+// checkpoint and program-build caches stay hot across the whole grid.
+// Identical specs trivially share an affinity key, so duplicates land
+// on one worker and collapse into its engine's singleflight. When a
+// worker dies, only its keys re-rank onto survivors; the rest of the
+// fleet keeps its assignments (the rendezvous property), which is what
+// keeps caches warm through churn.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"hbat/api"
+	"hbat/internal/engine"
+	"hbat/internal/runspan"
+	"hbat/internal/store"
+	"hbat/internal/transport"
+)
+
+// ErrNoWorkers is returned (as a 503 api.Error on the wire) when a
+// job's specs cannot be dispatched because no live worker remains.
+var ErrNoWorkers = errors.New("fleet: no live workers")
+
+// Config wires a Coordinator. Store is required; Workers may start
+// empty (workers can register over POST /v1/workers).
+type Config struct {
+	// Workers are the static worker base URLs ("http://host:port")
+	// probed from startup.
+	Workers []string
+	// Store is the coordinator's own artifact tier; results fetched
+	// from workers are filed here once and served locally after.
+	Store *store.Store
+	// Client, when non-nil, builds the api.Client for a worker address
+	// — the test seam. The default is api.NewClient with
+	// RequestTimeout applied.
+	Client func(addr string) *api.Client
+
+	// ProbeEvery is the health-probe period (default 1s).
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one /ready or /v1/manifest probe (default
+	// 500ms).
+	ProbeTimeout time.Duration
+	// DownAfter is the consecutive-failure count that marks a worker
+	// down (default 3). A single successful probe brings it back up.
+	DownAfter int
+
+	// RequestTimeout bounds each HTTP request to a worker (default 10s)
+	// — a hung worker fails one request at a time instead of wedging a
+	// job forever.
+	RequestTimeout time.Duration
+	// BatchTimeout bounds one dispatched batch end to end (default
+	// 2m); a batch that neither completes nor fails by then counts as
+	// timed out and its unfinished specs retry elsewhere.
+	BatchTimeout time.Duration
+	// RetryMax is the attempt cap per spec (default 3: one dispatch
+	// plus two retries).
+	RetryMax int
+	// RetryBackoff is the base backoff between retry waves (default
+	// 50ms), doubling per wave and capped at 32x.
+	RetryBackoff time.Duration
+
+	// TenantJobs, when > 0, bounds concurrently open jobs per tenant.
+	TenantJobs int
+	// MaxSpecs, when > 0, bounds specs per job (default 1024).
+	MaxSpecs int
+	// Logger receives job and fleet transitions.
+	Logger *slog.Logger
+	// Spans, when non-nil, records the coordinator's own span tree:
+	// job roots, per-batch dispatch spans, retry spans, and result
+	// fetches, all under the client's propagated trace id.
+	Spans *runspan.Tracer
+}
+
+// worker is one registry entry. state transitions are driven by the
+// prober; dispatched/retried feed the fleet metrics.
+type worker struct {
+	addr   string
+	client *api.Client
+
+	mu         sync.Mutex
+	state      string // api.WorkerUp | WorkerDraining | WorkerDown
+	tool       string
+	fails      int
+	lastProbe  time.Time
+	dispatched uint64
+}
+
+func (w *worker) snapshot() api.Worker {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	age := int64(-1)
+	if !w.lastProbe.IsZero() {
+		age = time.Since(w.lastProbe).Milliseconds()
+	}
+	return api.Worker{
+		Addr: w.addr, State: w.state, Tool: w.tool, Fails: w.fails,
+		LastProbeMs: age,
+	}
+}
+
+// Coordinator is a running fleet front end. Create with New, mount
+// Handler, stop with Shutdown.
+type Coordinator struct {
+	cfg    Config
+	red    transport.RED
+	filler *store.Filler
+
+	mu        sync.Mutex
+	workers   map[string]*worker
+	jobs      map[string]*job
+	byTenant  map[string]int
+	draining  bool
+	retries   uint64
+	noWorkers uint64
+
+	probeCancel context.CancelFunc
+	probeDone   chan struct{}
+	jobWG       sync.WaitGroup
+}
+
+// New builds the coordinator, registers the static workers, and starts
+// the prober. Workers start in the down state and are admitted to the
+// shard ring by their first successful probe (which New performs
+// synchronously once, so a fleet whose workers are already serving is
+// dispatchable immediately).
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("fleet: Config.Store is required")
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 500 * time.Millisecond
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 3
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.BatchTimeout <= 0 {
+		cfg.BatchTimeout = 2 * time.Minute
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxSpecs <= 0 {
+		cfg.MaxSpecs = 1024
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		workers:  make(map[string]*worker),
+		jobs:     make(map[string]*job),
+		byTenant: make(map[string]int),
+	}
+	c.red.Prefix = "hbat_fleet"
+	c.filler = &store.Filler{Store: cfg.Store, Fetch: c.fetchFromFleet}
+	for _, addr := range cfg.Workers {
+		c.addWorker(addr)
+	}
+	c.probeAll(context.Background())
+	probeCtx, cancel := context.WithCancel(context.Background())
+	c.probeCancel = cancel
+	c.probeDone = make(chan struct{})
+	go c.probeLoop(probeCtx)
+	return c, nil
+}
+
+func (c *Coordinator) log() *slog.Logger {
+	if c.cfg.Logger != nil {
+		return c.cfg.Logger
+	}
+	return slog.New(slog.DiscardHandler)
+}
+
+func (c *Coordinator) newClient(addr string) *api.Client {
+	if c.cfg.Client != nil {
+		cl := c.cfg.Client(addr)
+		if cl.Timeout == 0 {
+			cl.Timeout = c.cfg.RequestTimeout
+		}
+		return cl
+	}
+	cl := api.NewClient(addr)
+	cl.Timeout = c.cfg.RequestTimeout
+	return cl
+}
+
+// addWorker registers addr (idempotent) and returns its entry.
+func (c *Coordinator) addWorker(addr string) *worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.workers[addr]; ok {
+		return w
+	}
+	w := &worker{addr: addr, client: c.newClient(addr), state: api.WorkerDown}
+	c.workers[addr] = w
+	return w
+}
+
+// AddWorker registers a worker address at runtime and probes it
+// immediately, so a registration is dispatchable as soon as the call
+// returns (when the worker is healthy).
+func (c *Coordinator) AddWorker(ctx context.Context, addr string) api.Worker {
+	w := c.addWorker(addr)
+	c.probeWorker(ctx, w)
+	return w.snapshot()
+}
+
+// probeLoop drives the health state machine until Shutdown.
+func (c *Coordinator) probeLoop(ctx context.Context) {
+	defer close(c.probeDone)
+	tick := time.NewTicker(c.cfg.ProbeEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			c.probeAll(ctx)
+		}
+	}
+}
+
+func (c *Coordinator) probeAll(ctx context.Context) {
+	c.mu.Lock()
+	ws := make([]*worker, 0, len(c.workers))
+	for _, w := range c.workers {
+		ws = append(ws, w)
+	}
+	c.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			c.probeWorker(ctx, w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// probeWorker runs one /ready (+ first-contact /v1/manifest) probe and
+// advances the worker's state machine: 200 → up, 503 → draining
+// (finishing in-flight work, not accepting new), probe error → fails++
+// and down at DownAfter consecutive failures.
+func (c *Coordinator) probeWorker(ctx context.Context, w *worker) {
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	ready, err := w.client.Ready(pctx)
+
+	w.mu.Lock()
+	prev := w.state
+	w.lastProbe = time.Now()
+	switch {
+	case err != nil:
+		w.fails++
+		if w.fails >= c.cfg.DownAfter || prev == api.WorkerDown {
+			w.state = api.WorkerDown
+		}
+	case ready:
+		w.fails = 0
+		w.state = api.WorkerUp
+	default:
+		w.fails = 0
+		w.state = api.WorkerDraining
+	}
+	state, needTool := w.state, w.tool == "" && err == nil
+	w.mu.Unlock()
+
+	if needTool {
+		mctx, mcancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+		tool, merr := w.client.Manifest(mctx)
+		mcancel()
+		if merr == nil {
+			w.mu.Lock()
+			w.tool = tool
+			w.mu.Unlock()
+		}
+	}
+	if state != prev {
+		c.log().Info("worker state", "worker", w.addr, "from", prev, "to", state)
+	}
+}
+
+// live returns the workers currently eligible for new dispatches.
+func (c *Coordinator) live() []*worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ws []*worker
+	for _, w := range c.workers {
+		w.mu.Lock()
+		up := w.state == api.WorkerUp
+		w.mu.Unlock()
+		if up {
+			ws = append(ws, w)
+		}
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].addr < ws[j].addr })
+	return ws
+}
+
+// affinityKey is the rendezvous input: everything that names a
+// worker's warm checkpoint/build state for a spec — and not the
+// design, so a whole design sweep of one workload shares a worker.
+func affinityKey(spec engine.RunSpec) string {
+	return fmt.Sprintf("%s|%v|%d|%d|%d|%d",
+		spec.Workload, spec.Budget, spec.Scale, spec.PageSize, spec.FastForward, spec.Seed)
+}
+
+// rank orders workers for key by rendezvous (highest-random-weight)
+// hashing: every (key, worker) pair gets an independent score and the
+// key prefers workers in descending score order. Removing one worker
+// only ever moves that worker's keys.
+func rank(key string, ws []*worker) []*worker {
+	type scored struct {
+		w *worker
+		s uint64
+	}
+	out := make([]scored, len(ws))
+	for i, w := range ws {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		h.Write([]byte{0})
+		h.Write([]byte(w.addr))
+		out[i] = scored{w: w, s: h.Sum64()}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].s != out[j].s {
+			return out[i].s > out[j].s
+		}
+		return out[i].w.addr < out[j].w.addr
+	})
+	ranked := make([]*worker, len(out))
+	for i, sc := range out {
+		ranked[i] = sc.w
+	}
+	return ranked
+}
+
+// Accepting reports whether the coordinator admits new jobs — the
+// /ready answer.
+func (c *Coordinator) Accepting() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.draining
+}
+
+// WorkersSnapshot returns the registry for GET /v1/workers, sorted by
+// address.
+func (c *Coordinator) WorkersSnapshot() []api.Worker {
+	c.mu.Lock()
+	ws := make([]*worker, 0, len(c.workers))
+	for _, w := range c.workers {
+		ws = append(ws, w)
+	}
+	c.mu.Unlock()
+	sort.Slice(ws, func(i, j int) bool { return ws[i].addr < ws[j].addr })
+	out := make([]api.Worker, len(ws))
+	for i, w := range ws {
+		out[i] = w.snapshot()
+	}
+	return out
+}
+
+// Shutdown drains the coordinator: no new jobs are admitted, open jobs
+// run to completion or ctx expiry, and the prober stops.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		<-c.probeDone
+		return nil
+	}
+	c.draining = true
+	open := make([]*job, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		open = append(open, j)
+	}
+	c.mu.Unlock()
+	c.probeCancel()
+	for _, j := range open {
+		select {
+		case <-j.finished:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	done := make(chan struct{})
+	go func() { c.jobWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	<-c.probeDone
+	return nil
+}
+
+// fetchFromFleet is the store Filler's remote source: it asks live
+// workers for the artifact in rendezvous order for the key, so the
+// worker most likely to hold it is asked first.
+func (c *Coordinator) fetchFromFleet(ctx context.Context, key string) ([]byte, error) {
+	ws := c.live()
+	if len(ws) == 0 {
+		return nil, ErrNoWorkers
+	}
+	var lastErr error
+	for _, w := range rank(key, ws) {
+		data, _, err := w.client.Result(ctx, key)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("fleet: no worker holds %s: %w", key, lastErr)
+}
+
+// Results serves a stored (or fleet-fillable) artifact — the handler's
+// and tests' read path through the coordinator store tier.
+func (c *Coordinator) Results(ctx context.Context, key string) ([]byte, string, error) {
+	return c.filler.Get(ctx, key)
+}

@@ -37,6 +37,7 @@ func TestFlagParityAcrossBinaries(t *testing.T) {
 		{"hbat-bench-sweep", []string{"-h"}},
 		{"hbat-trace", []string{"capture", "-h"}},
 		{"hbatd", []string{"-h"}},
+		{"hbatc", []string{"-h"}},
 	}
 	dir := t.TempDir()
 	for _, b := range bins {

@@ -17,6 +17,7 @@ package transport
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -45,10 +46,11 @@ type reqInfo struct {
 
 type reqInfoKey struct{}
 
-// annotate publishes the request's resolved tenant and trace id to the
+// Annotate publishes the request's resolved tenant and trace id to the
 // middleware's holder, if one is present. Empty arguments leave the
-// corresponding field untouched.
-func annotate(ctx context.Context, tenant, trace string) {
+// corresponding field untouched. Exported so the fleet coordinator's
+// handlers can feed the same middleware.
+func Annotate(ctx context.Context, tenant, trace string) {
 	ri, ok := ctx.Value(reqInfoKey{}).(*reqInfo)
 	if !ok {
 		return
@@ -72,6 +74,8 @@ func routeTemplate(path string) string {
 		return api.PathJobs
 	case path == api.PathManifest:
 		return api.PathManifest
+	case path == api.PathWorkers:
+		return api.PathWorkers
 	case strings.HasPrefix(path, api.PathResults):
 		return api.PathResults + "{speckey}"
 	case strings.HasPrefix(path, api.PathJobs+"/"):
@@ -131,13 +135,28 @@ type redEntry struct {
 	count   uint64
 }
 
-// red is the middleware's accumulator, shared by every request.
-type red struct {
+// RED is the middleware's request accumulator, shared by every
+// request. The zero value is ready to use; set Prefix before the first
+// scrape to rename the exported families (the fleet coordinator
+// publishes the same shapes as hbat_fleet_* instead of hbat_fabric_*).
+type RED struct {
+	// Prefix names the exported families; "hbat_fabric" when empty.
+	Prefix string
+
 	mu      sync.Mutex
 	entries map[redKey]*redEntry
 }
 
-func (m *red) observe(route, tenant, class string, ms float64) {
+func (m *RED) prefix() string {
+	if m.Prefix != "" {
+		return m.Prefix
+	}
+	return "hbat_fabric"
+}
+
+// Observe records one finished request under its route template,
+// tenant, and status class ("2xx".."5xx").
+func (m *RED) Observe(route, tenant, class string, ms float64) {
 	m.mu.Lock()
 	if m.entries == nil {
 		m.entries = make(map[redKey]*redEntry)
@@ -165,14 +184,17 @@ func (m *red) observe(route, tenant, class string, ms float64) {
 	m.mu.Unlock()
 }
 
-// Middleware wraps next with the fabric's RED instrumentation and
-// access log. Every response is counted under its route template,
-// tenant, and status class; the duration lands in the per-route
-// histogram; and one Info-level access-log record is emitted through
-// the service's logger — which hbatd builds from the shared
-// -log-level/-log-format flags, so `-log-level warn` silences the
-// access log exactly like every other binary's chatter.
-func (s *Service) Middleware(next http.Handler) http.Handler {
+// Middleware wraps next with RED instrumentation and an access log.
+// Every response is counted under its route template, tenant, and
+// status class; the duration lands in the per-route histogram; and one
+// Info-level access-log record is emitted through logger — which the
+// binaries build from the shared -log-level/-log-format flags, so
+// `-log-level warn` silences the access log exactly like every other
+// binary's chatter.
+func (m *RED) Middleware(logger *slog.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		ri := &reqInfo{}
@@ -202,8 +224,8 @@ func (s *Service) Middleware(next http.Handler) http.Handler {
 		case 4:
 			class = "4xx"
 		}
-		s.red.observe(route, ten, class, ms)
-		lg := s.log().With(
+		m.Observe(route, ten, class, ms)
+		lg := logger.With(
 			"method", r.Method, "route", route, "tenant", ten,
 			"status", sw.code, "wall_ms", ms,
 		)
@@ -214,13 +236,14 @@ func (s *Service) Middleware(next http.Handler) http.Handler {
 	})
 }
 
-// MetricsFamilies exports the fabric's RED counters and live-state
-// gauges as exposition families — hand it to obs.Config.Extra. Series
-// are emitted in sorted label order so scrapes are stable.
-func (s *Service) MetricsFamilies() []obs.Family {
-	s.red.mu.Lock()
-	keys := make([]redKey, 0, len(s.red.entries))
-	for k := range s.red.entries {
+// Families exports the accumulator's request counters and duration
+// histograms as exposition families named from Prefix. Series are
+// emitted in sorted label order so scrapes are stable.
+func (m *RED) Families() []obs.Family {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]redKey, 0, len(m.entries))
+	for k := range m.entries {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -230,15 +253,15 @@ func (s *Service) MetricsFamilies() []obs.Family {
 		return keys[i].tenant < keys[j].tenant
 	})
 	req := obs.Family{
-		Name: "hbat_fabric_requests", Kind: "counter",
+		Name: m.prefix() + "_requests", Kind: "counter",
 		Help: "Requests served by the v1 job API, by route template, tenant, and status class.",
 	}
 	dur := obs.Family{
-		Name: "hbat_fabric_request_duration_ms", Kind: "histogram",
+		Name: m.prefix() + "_request_duration_ms", Kind: "histogram",
 		Help: "Request wall time in milliseconds, by route template and tenant.",
 	}
 	for _, k := range keys {
-		e := s.red.entries[k]
+		e := m.entries[k]
 		classes := make([]string, 0, len(e.byClass))
 		for c := range e.byClass {
 			classes = append(classes, c)
@@ -260,7 +283,20 @@ func (s *Service) MetricsFamilies() []obs.Family {
 			Count:  e.count,
 		})
 	}
-	s.red.mu.Unlock()
+	return []obs.Family{req, dur}
+}
+
+// Middleware wraps next with the fabric's RED instrumentation, logging
+// through the service's logger.
+func (s *Service) Middleware(next http.Handler) http.Handler {
+	return s.red.Middleware(s.log(), next)
+}
+
+// MetricsFamilies exports the fabric's RED counters and live-state
+// gauges as exposition families — hand it to obs.Config.Extra. Series
+// are emitted in sorted label order so scrapes are stable.
+func (s *Service) MetricsFamilies() []obs.Family {
+	families := s.red.Families()
 
 	open := obs.Family{
 		Name: "hbat_fabric_jobs_open", Kind: "gauge",
@@ -330,5 +366,5 @@ func (s *Service) MetricsFamilies() []obs.Family {
 		}},
 	}
 
-	return []obs.Family{req, dur, open, depth, bytes, quota, subs}
+	return append(families, open, depth, bytes, quota, subs)
 }

@@ -33,8 +33,6 @@ import (
 	"hbat/internal/engine"
 	"hbat/internal/runspan"
 	"hbat/internal/store"
-	"hbat/internal/tlb"
-	"hbat/internal/workload"
 )
 
 // Config wires a Service. Engine and Store are required.
@@ -121,7 +119,7 @@ type Service struct {
 
 	// red accumulates the Middleware's per-route/per-tenant request
 	// metrics (see metrics.go).
-	red red
+	red RED
 }
 
 // New starts the worker pool and returns the service.
@@ -220,41 +218,6 @@ func (s *Service) handlePing(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"api": api.Version, "pong": "hbatd"})
 }
 
-// tenant resolves the caller's tenant: body field, then header, then
-// "default".
-func tenant(r *http.Request, body *api.JobRequest) string {
-	if body != nil && body.Tenant != "" {
-		return body.Tenant
-	}
-	if t := r.Header.Get(api.TenantHeader); t != "" {
-		return t
-	}
-	return "default"
-}
-
-// expand flattens a JobRequest into wire specs: the grid's product
-// first, explicit specs after.
-func expand(req *api.JobRequest) []api.SimOptions {
-	var specs []api.SimOptions
-	if g := req.Grid; g != nil {
-		ws, ds := g.Workloads, g.Designs
-		if len(ws) == 0 {
-			ws = workload.Names()
-		}
-		if len(ds) == 0 {
-			ds = tlb.DesignOrder
-		}
-		for _, w := range ws {
-			for _, d := range ds {
-				o := g.Template
-				o.Workload, o.Design = w, d
-				specs = append(specs, o)
-			}
-		}
-	}
-	return append(specs, req.Specs...)
-}
-
 func newJobID() string {
 	var b [8]byte
 	rand.Read(b[:])
@@ -271,9 +234,9 @@ func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad job request: %v", err)
 		return
 	}
-	ten := tenant(r, &req)
-	annotate(r.Context(), ten, "")
-	wire := expand(&req)
+	ten := ResolveTenant(r, &req)
+	Annotate(r.Context(), ten, "")
+	wire := ExpandRequest(&req)
 	if len(wire) == 0 {
 		writeErr(w, http.StatusBadRequest, "job has no specs")
 		return
@@ -283,25 +246,7 @@ func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Trace identity: the submitter's traceparent (body field over
-	// header, per the wire contract) parents the job's span tree under
-	// the client's span; an absent or malformed one — W3C restart
-	// semantics — mints a fresh trace, so curl submissions still get a
-	// trace id to correlate logs, statuses, and the span journal by.
-	tp := req.Traceparent
-	if tp == "" {
-		tp = r.Header.Get(api.TraceparentHeader)
-	}
-	var parentSpan, traceID string
-	if tp != "" {
-		if tc, err := runspan.ParseTraceparent(tp); err == nil {
-			traceID, parentSpan = tc.TraceID, tc.SpanID
-		}
-	}
-	if traceID == "" {
-		traceID = runspan.NewTraceContext().TraceID
-	}
-
+	traceID, parentSpan := TraceIdentity(r, &req)
 	j := &job{
 		id:       newJobID(),
 		tenant:   ten,
@@ -311,20 +256,13 @@ func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 		subs:     make(map[uint64]chan api.Event),
 		finished: make(chan struct{}),
 	}
-	annotate(r.Context(), "", traceID)
-	for _, o := range wire {
-		spec, err := engine.SpecFromWire(o)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad spec: %v", err)
-			return
-		}
-		j.runs = append(j.runs, spec)
-		j.specs = append(j.specs, api.SpecStatus{
-			SpecKey: spec.Hash(),
-			Spec:    spec.String(),
-			State:   api.StateQueued,
-		})
+	Annotate(r.Context(), "", traceID)
+	runs, sts, err := NormalizeSpecs(wire)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
 	}
+	j.runs, j.specs = runs, sts
 
 	// Admission: drain state and per-tenant open-job quota, checked and
 	// charged under one lock so concurrent submissions cannot overshoot.
@@ -566,7 +504,7 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no job %q", id)
 		return
 	}
-	annotate(r.Context(), j.tenant, j.traceID)
+	Annotate(r.Context(), j.tenant, j.traceID)
 	switch sub {
 	case "":
 		writeJSON(w, http.StatusOK, j.status())

@@ -1,0 +1,105 @@
+package transport
+
+// This file holds the shared job-intake pieces of the v1 API surface:
+// tenant resolution, grid expansion, spec normalization, trace-identity
+// extraction, and the JSON response helpers. Both the single-node
+// Service (this package) and the fleet coordinator (internal/fleet)
+// serve the same wire contract, so they intake jobs through these exact
+// functions — a spec submitted to either lands in the same key space
+// and carries the same trace identity semantics.
+
+import (
+	"fmt"
+	"net/http"
+
+	"hbat/api"
+	"hbat/internal/engine"
+	"hbat/internal/runspan"
+	"hbat/internal/tlb"
+	"hbat/internal/workload"
+)
+
+// ResolveTenant resolves the caller's tenant: body field, then the
+// X-Hbat-Tenant header, then "default".
+func ResolveTenant(r *http.Request, body *api.JobRequest) string {
+	if body != nil && body.Tenant != "" {
+		return body.Tenant
+	}
+	if t := r.Header.Get(api.TenantHeader); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// ExpandRequest flattens a JobRequest into wire specs: the grid's
+// workload × design product first (nil axes default to the full
+// Table 3 / Table 2 sets), explicit specs after.
+func ExpandRequest(req *api.JobRequest) []api.SimOptions {
+	var specs []api.SimOptions
+	if g := req.Grid; g != nil {
+		ws, ds := g.Workloads, g.Designs
+		if len(ws) == 0 {
+			ws = workload.Names()
+		}
+		if len(ds) == 0 {
+			ds = tlb.DesignOrder
+		}
+		for _, w := range ws {
+			for _, d := range ds {
+				o := g.Template
+				o.Workload, o.Design = w, d
+				specs = append(specs, o)
+			}
+		}
+	}
+	return append(specs, req.Specs...)
+}
+
+// NormalizeSpecs runs every wire spec through engine.SpecFromWire —
+// the one normalization point the facade also uses — and returns the
+// normalized runs alongside their initial queued statuses. The first
+// malformed spec aborts the whole job.
+func NormalizeSpecs(wire []api.SimOptions) ([]engine.RunSpec, []api.SpecStatus, error) {
+	runs := make([]engine.RunSpec, 0, len(wire))
+	sts := make([]api.SpecStatus, 0, len(wire))
+	for _, o := range wire {
+		spec, err := engine.SpecFromWire(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		runs = append(runs, spec)
+		sts = append(sts, api.SpecStatus{
+			SpecKey: spec.Hash(),
+			Spec:    spec.String(),
+			State:   api.StateQueued,
+		})
+	}
+	return runs, sts, nil
+}
+
+// TraceIdentity extracts a submission's trace context: the body
+// traceparent wins over the header (per the wire contract), and an
+// absent or malformed one — W3C restart semantics — mints a fresh
+// trace id with no remote parent, so every accepted job has a trace
+// id to correlate logs, statuses, and span journals by.
+func TraceIdentity(r *http.Request, req *api.JobRequest) (traceID, parentSpan string) {
+	tp := req.Traceparent
+	if tp == "" {
+		tp = r.Header.Get(api.TraceparentHeader)
+	}
+	if tp != "" {
+		if tc, err := runspan.ParseTraceparent(tp); err == nil {
+			return tc.TraceID, tc.SpanID
+		}
+	}
+	return runspan.NewTraceContext().TraceID, ""
+}
+
+// WriteJSON writes v as the JSON body of a response with the given
+// status code.
+func WriteJSON(w http.ResponseWriter, code int, v any) { writeJSON(w, code, v) }
+
+// WriteErr writes a structured api.Error response.
+func WriteErr(w http.ResponseWriter, code int, format string, args ...any) {
+	WriteJSON(w, code, &api.Error{API: api.Version, Code: code, Message: fmt.Sprintf(format, args...)})
+}
